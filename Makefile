@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B target per paper figure + ablations; logs the series.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+
+# Regenerate the paper's evaluation as tables (CSV copies in ./results).
+experiments:
+	$(GO) run ./cmd/experiments -all -o results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/airquality
+	$(GO) run ./examples/marketplace
+	$(GO) run ./examples/iotnetwork
+	$(GO) run ./examples/analytics
+	$(GO) run ./examples/streaming
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's evaluation: one runner per
+// figure (fig2…fig6) plus the repository's ablations.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig2 [-seed 1] [-trials 5] [-k 10] [-records 17568] [-csv]
+//	experiments -all [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"privrange/internal/bench"
+	"privrange/internal/dataset"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run (e.g. fig2)")
+		all     = flag.Bool("all", false, "run every experiment")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		trials  = flag.Int("trials", 5, "independent sample draws per measured point")
+		k       = flag.Int("k", 10, "simulated IoT node count")
+		records = flag.Int("records", dataset.CityPulseRecords, "dataset size")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		outDir  = flag.String("o", "", "also write each experiment's CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, K: *k, Records: *records}
+	var names []string
+	switch {
+	case *all:
+		names = bench.Experiments()
+	case *exp != "":
+		names = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for i, name := range names {
+		res, err := bench.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csvOut {
+			fmt.Printf("# %s\n%s", res.Name, res.CSV())
+		} else {
+			fmt.Print(res.Table())
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.Name+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command privquery is a consumer CLI for a privranged broker: it lists
+// the catalog, quotes prices, and buys private range-counting answers.
+//
+// Usage:
+//
+//	privquery -addr 127.0.0.1:7070 catalog
+//	privquery -addr 127.0.0.1:7070 quote -dataset ozone -alpha 0.05 -delta 0.9
+//	privquery -addr 127.0.0.1:7070 buy -dataset ozone -l 50 -u 100 \
+//	          -alpha 0.05 -delta 0.9 -customer alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privrange/internal/market"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "privquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("privquery", flag.ContinueOnError)
+	addr := global.String("addr", "127.0.0.1:7070", "broker address")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a subcommand: catalog, quote, buy, deposit, balance or audit")
+	}
+
+	client, err := market.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch rest[0] {
+	case "catalog":
+		infos, err := client.Catalog()
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			fmt.Printf("%-24s n=%-8d nodes=%d\n", info.Name, info.N, info.Nodes)
+		}
+		return nil
+	case "quote":
+		fs := flag.NewFlagSet("quote", flag.ContinueOnError)
+		ds := fs.String("dataset", "", "dataset name")
+		alpha := fs.Float64("alpha", 0.05, "accuracy alpha")
+		delta := fs.Float64("delta", 0.9, "confidence delta")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		price, variance, err := client.Quote(*ds, *alpha, *delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("price=%.4f variance=%.1f\n", price, variance)
+		return nil
+	case "buy":
+		fs := flag.NewFlagSet("buy", flag.ContinueOnError)
+		ds := fs.String("dataset", "", "dataset name")
+		l := fs.Float64("l", 0, "range lower bound")
+		u := fs.Float64("u", 0, "range upper bound")
+		alpha := fs.Float64("alpha", 0.05, "accuracy alpha")
+		delta := fs.Float64("delta", 0.9, "confidence delta")
+		customer := fs.String("customer", "cli", "customer id for the ledger")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		resp, err := client.Buy(market.Request{
+			Dataset:  *ds,
+			Customer: *customer,
+			L:        *l,
+			U:        *u,
+			Alpha:    *alpha,
+			Delta:    *delta,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("count=%.1f price=%.4f epsilon'=%.4f receipt=%d\n",
+			resp.Value, resp.Price, resp.EpsilonPrime, resp.Receipt.ID)
+		return nil
+	case "deposit":
+		fs := flag.NewFlagSet("deposit", flag.ContinueOnError)
+		customer := fs.String("customer", "cli", "customer id")
+		amount := fs.Float64("amount", 0, "amount to deposit")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		bal, err := client.Deposit(*customer, *amount)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balance=%.4f\n", bal)
+		return nil
+	case "balance":
+		fs := flag.NewFlagSet("balance", flag.ContinueOnError)
+		customer := fs.String("customer", "cli", "customer id")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		bal, err := client.Balance(*customer)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balance=%.4f\n", bal)
+		return nil
+	case "audit":
+		sus, err := client.Audit()
+		if err != nil {
+			return err
+		}
+		if len(sus) == 0 {
+			fmt.Println("no averaging patterns detected")
+			return nil
+		}
+		for _, s := range sus {
+			fmt.Printf("%-12s %-20s [%g, %g] alpha=%g delta=%g x%d paid=%.2f\n",
+				s.Customer, s.Dataset, s.L, s.U, s.Alpha, s.Delta, s.Count, s.TotalPaid)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}

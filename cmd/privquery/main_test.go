@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"privrange"
+	"privrange/internal/dataset"
+)
+
+// startBroker spins a real marketplace server for CLI end-to-end tests.
+func startBroker(t *testing.T) string {
+	t.Helper()
+	mp, err := privrange.NewMarketplace(privrange.Tariff{Base: 1, C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 1, Records: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.AddDataset("ozone", series.Values, privrange.Options{Nodes: 8, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mp.EnablePrepaid()
+	srv, err := mp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr()
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	addr := startBroker(t)
+	steps := [][]string{
+		{"-addr", addr, "catalog"},
+		{"-addr", addr, "quote", "-dataset", "ozone", "-alpha", "0.1", "-delta", "0.6"},
+		{"-addr", addr, "deposit", "-customer", "cli-test", "-amount", "100000"},
+		{"-addr", addr, "balance", "-customer", "cli-test"},
+		{"-addr", addr, "buy", "-dataset", "ozone", "-l", "40", "-u", "90",
+			"-alpha", "0.1", "-delta", "0.6", "-customer", "cli-test"},
+		{"-addr", addr, "audit"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("privquery %v: %v", args, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr := startBroker(t)
+	cases := [][]string{
+		{"-addr", addr},
+		{"-addr", addr, "frobnicate"},
+		{"-addr", addr, "quote", "-dataset", "missing", "-alpha", "0.1", "-delta", "0.6"},
+		{"-addr", addr, "buy", "-dataset", "ozone", "-l", "40", "-u", "90",
+			"-alpha", "0.1", "-delta", "0.6", "-customer", "broke"}, // unfunded
+		{"-addr", "127.0.0.1:1", "catalog"}, // nothing listening
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("privquery %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command privranged runs a data-broker daemon: it loads (or generates)
+// the pollution dataset, spreads it over a simulated IoT deployment, and
+// serves the trading protocol over TCP. Each of the five air-quality
+// indexes is a purchasable dataset.
+//
+// Usage:
+//
+//	privranged [-addr 127.0.0.1:7070] [-data pollution.csv] [-nodes 16]
+//	           [-seed 1] [-base-fee 1] [-tariff-c 1e9] [-budget 0]
+//
+// The protocol is newline-delimited JSON; see cmd/privquery for a client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"privrange"
+	"privrange/internal/dataset"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		data    = flag.String("data", "", "CityPulse-style CSV to serve (default: generate synthetic)")
+		nodes   = flag.Int("nodes", 16, "simulated IoT nodes per dataset")
+		seed    = flag.Int64("seed", 1, "seed for generation, sampling and noise")
+		baseFee = flag.Float64("base-fee", 1, "flat per-query fee")
+		tariffC = flag.Float64("tariff-c", 1e9, "1/V tariff coefficient")
+		budget  = flag.Float64("budget", 0, "total privacy budget cap per dataset (0 = uncapped)")
+		prepaid = flag.Bool("prepaid", false, "require prepaid customer accounts (privquery deposit)")
+		state   = flag.String("state", "", "trading-state snapshot file (loaded on boot, saved on shutdown)")
+		custCap = flag.Float64("customer-cap", 0, "per-customer privacy cap per dataset (0 = uncapped)")
+	)
+	flag.Parse()
+	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *custCap); err != nil {
+		fmt.Fprintf(os.Stderr, "privranged: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath string, custCap float64) error {
+	table, err := loadTable(dataPath, seed)
+	if err != nil {
+		return err
+	}
+	mp, err := privrange.NewMarketplace(privrange.Tariff{Base: baseFee, C: tariffC})
+	if err != nil {
+		return err
+	}
+	if prepaid {
+		mp.EnablePrepaid()
+	}
+	if custCap > 0 {
+		if err := mp.SetCustomerPrivacyCap(custCap); err != nil {
+			return err
+		}
+	}
+	if statePath != "" {
+		if f, err := os.Open(statePath); err == nil {
+			restoreErr := mp.RestoreState(f)
+			f.Close()
+			if restoreErr != nil {
+				return fmt.Errorf("restore %s: %w", statePath, restoreErr)
+			}
+			fmt.Printf("privranged: restored %d receipts from %s\n", mp.Purchases(), statePath)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	for _, p := range dataset.Pollutants() {
+		series, err := table.Series(p)
+		if err != nil {
+			return err
+		}
+		opts := privrange.Options{Nodes: nodes, Seed: seed + int64(p), TotalBudget: budget}
+		if err := mp.AddDataset(p.String(), series.Values, opts); err != nil {
+			return err
+		}
+	}
+	srv, err := mp.Serve(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("privranged: serving %d datasets of %d records on %s\n",
+		len(dataset.Pollutants()), table.Len(), srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("privranged: shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if statePath != "" {
+		f, err := os.Create(statePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mp.SaveState(f); err != nil {
+			return err
+		}
+		fmt.Printf("privranged: saved %d receipts to %s\n", mp.Purchases(), statePath)
+	}
+	return nil
+}
+
+func loadTable(path string, seed int64) (*dataset.Table, error) {
+	if path == "" {
+		return dataset.Generate(dataset.GenerateConfig{Seed: seed})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}

@@ -1,0 +1,189 @@
+// Command privsim runs a complete trading scenario end to end: a broker
+// serving the five pollutant datasets over TCP, a population of honest
+// consumers buying random range counts, and (optionally) an averaging
+// adversary. It finishes with the broker's books: revenue, per-customer
+// spend, per-dataset privacy released, and the ledger audit.
+//
+// Usage:
+//
+//	privsim [-customers 5] [-purchases 4] [-seed 1] [-unsafe] [-prepaid]
+//
+// -unsafe switches to the deliberately exploitable c/V² tariff so the
+// adversary's arbitrage succeeds — the broker's audit still catches the
+// pattern.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privrange/internal/core"
+	"privrange/internal/dataset"
+	"privrange/internal/estimator"
+	"privrange/internal/iot"
+	"privrange/internal/market"
+	"privrange/internal/pricing"
+	"privrange/internal/stats"
+)
+
+func main() {
+	var (
+		customers = flag.Int("customers", 5, "number of honest consumers")
+		purchases = flag.Int("purchases", 4, "purchases per honest consumer")
+		seed      = flag.Int64("seed", 1, "scenario seed")
+		unsafe    = flag.Bool("unsafe", false, "use an exploitable tariff (demonstrates arbitrage)")
+		prepaid   = flag.Bool("prepaid", false, "require prepaid accounts")
+	)
+	flag.Parse()
+	if err := run(*customers, *purchases, *seed, *unsafe, *prepaid); err != nil {
+		fmt.Fprintf(os.Stderr, "privsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(customers, purchases int, seed int64, unsafe, prepaid bool) error {
+	if customers < 1 || purchases < 1 {
+		return fmt.Errorf("need at least one customer and one purchase")
+	}
+
+	// Broker side.
+	var (
+		broker *market.Broker
+		err    error
+	)
+	if unsafe {
+		fmt.Println("tariff: UNSAFE c/V² (NewBroker would refuse this; using the unchecked constructor)")
+		broker, err = market.NewBrokerUnchecked(pricing.UnsafeSteep{C: 1e16})
+	} else {
+		fmt.Println("tariff: base + c/V (passes the Theorem 4.2 audit)")
+		broker, err = market.NewBroker(pricing.BaseFeePlusInverse{Base: 2, C: 1e9})
+	}
+	if err != nil {
+		return err
+	}
+	table, err := dataset.Generate(dataset.GenerateConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, 5)
+	for _, p := range dataset.Pollutants() {
+		series, err := table.Series(p)
+		if err != nil {
+			return err
+		}
+		parts, err := series.Partition(16)
+		if err != nil {
+			return err
+		}
+		nw, err := iot.New(parts, iot.Config{Seed: seed + int64(p)})
+		if err != nil {
+			return err
+		}
+		engine, err := core.New(nw, core.WithSeed(seed+100+int64(p)))
+		if err != nil {
+			return err
+		}
+		if err := broker.Register(p.String(), engine, series.Len(), 16); err != nil {
+			return err
+		}
+		names = append(names, p.String())
+	}
+	var wallets *market.Wallets
+	if prepaid {
+		wallets = &market.Wallets{}
+		broker.AttachWallets(wallets)
+	}
+	srv, err := market.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("broker: %d datasets of %d records on %s\n\n", len(names), table.Len(), srv.Addr())
+
+	// Consumer side — everyone shops over real TCP.
+	rng := stats.NewRNG(seed + 999)
+	menu := []estimator.Accuracy{
+		{Alpha: 0.05, Delta: 0.9},
+		{Alpha: 0.08, Delta: 0.7},
+		{Alpha: 0.1, Delta: 0.6},
+		{Alpha: 0.2, Delta: 0.5},
+	}
+	for c := 0; c < customers; c++ {
+		name := fmt.Sprintf("customer-%02d", c)
+		client, err := market.Dial(srv.Addr())
+		if err != nil {
+			return err
+		}
+		if prepaid {
+			if _, err := client.Deposit(name, 1e7); err != nil {
+				client.Close()
+				return err
+			}
+		}
+		consumer := market.HonestConsumer{Name: name, Market: market.RemoteMarket{Client: client}}
+		for i := 0; i < purchases; i++ {
+			ds := names[rng.Intn(len(names))]
+			acc := menu[rng.Intn(len(menu))]
+			l := float64(rng.Intn(150))
+			u := l + 20 + float64(rng.Intn(150))
+			p, err := consumer.Buy(ds, l, u, acc)
+			if err != nil {
+				client.Close()
+				return fmt.Errorf("%s buying %s[%g,%g]: %w", name, ds, l, u, err)
+			}
+			fmt.Printf("%s bought %-18s [%5.0f,%5.0f] α=%.2f δ=%.1f -> %8.0f for %10.2f\n",
+				name, ds, l, u, acc.Alpha, acc.Delta, p.Value, p.Cost)
+		}
+		client.Close()
+	}
+
+	// The adversary goes after the most accurate item on one dataset.
+	advClient, err := market.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer advClient.Close()
+	if prepaid {
+		if _, err := advClient.Deposit("mallory", 1e9); err != nil {
+			return err
+		}
+	}
+	mallory := market.ArbitrageConsumer{
+		Name:   "mallory",
+		Market: market.RemoteMarket{Client: advClient},
+		Menu:   pricing.DefaultMenu(),
+	}
+	target := estimator.Accuracy{Alpha: 0.05, Delta: 0.8}
+	p, err := mallory.Buy(names[0], 60, 160, target)
+	if err != nil {
+		return err
+	}
+	verdict := "paid list price (no arbitrage possible)"
+	if p.Arbitrage {
+		verdict = fmt.Sprintf("ARBITRAGE: %d purchases for %.2f vs list %.2f (saved %.2f)",
+			len(p.Receipts), p.Cost, p.DirectPrice, p.Savings())
+	}
+	fmt.Printf("\nmallory target %s α=%.2f δ=%.1f: %s\n", names[0], target.Alpha, target.Delta, verdict)
+
+	// The books.
+	ledger := broker.Ledger()
+	fmt.Printf("\n=== broker books ===\n")
+	fmt.Printf("sales: %d, revenue: %.2f\n", ledger.Purchases(), ledger.Revenue())
+	for _, name := range names {
+		if eps := ledger.PrivacySpent(name); eps > 0 {
+			fmt.Printf("  %-20s privacy released Σε' = %.4f\n", name, eps)
+		}
+	}
+	fmt.Printf("mallory spend: %.2f\n", ledger.SpentBy("mallory"))
+	if sus := broker.Audit(); len(sus) > 0 {
+		fmt.Println("audit findings:")
+		for _, s := range sus {
+			fmt.Printf("  %-12s %-18s [%g,%g] α=%g δ=%g repeated x%d (paid %.2f)\n",
+				s.Customer, s.Dataset, s.L, s.U, s.Alpha, s.Delta, s.Count, s.TotalPaid)
+		}
+	} else {
+		fmt.Println("audit: clean")
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Analytics: the richer private aggregates built on the same collected
+// samples — an ε-DP band histogram (one ε for all bands via parallel
+// composition), private quantiles via the exponential mechanism, and the
+// cumulative privacy-budget ledger across all releases.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"privrange"
+	"privrange/internal/dataset"
+)
+
+func main() {
+	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := privrange.NewSystem(series.Values, privrange.Options{Nodes: 16, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("particulate_matter: %d readings across %d nodes\n\n", sys.N(), sys.Nodes())
+
+	// 1. One ε buys the whole AQI band histogram.
+	bands := []float64{0, 50, 100, 150, 200, 300}
+	h, err := sys.Histogram(bands, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := []string{"good", "moderate", "usg", "unhealthy", "hazardous"}
+	fmt.Printf("AQI histogram (one release, effective eps' = %.4f):\n", h.EpsilonPrime)
+	for i, c := range h.Counts {
+		truth, err := series.RangeCount(h.Boundaries[i], h.Boundaries[i+1]-0.0001)
+		if err != nil {
+			log.Fatal(err)
+		}
+		barLen := int(c / float64(sys.N()) * 50)
+		fmt.Printf("  [%3.0f,%3.0f) %-10s %7.0f (truth %6d) %s\n",
+			h.Boundaries[i], h.Boundaries[i+1], labels[i], c, truth, strings.Repeat("#", barLen))
+	}
+
+	// 2. Private quantiles of the pollution distribution.
+	fmt.Println("\nprivate quantiles (exponential mechanism):")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		res, err := sys.Quantile(q, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  q=%.2f -> %.0f (eps' %.4f)\n", q, res.Value, res.EpsilonPrime)
+	}
+
+	// 3. The most frequent readings (heavy hitters), privately selected.
+	hitters, eff, err := sys.TopK(3, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop readings (eps' %.4f):\n", eff)
+	for i, h := range hitters {
+		fmt.Printf("  #%d value=%.0f count~%.0f\n", i+1, h.Value, h.Count)
+	}
+
+	// 4. A range count through the (α, δ) path shares the same budget
+	// ledger.
+	ans, err := sys.Count(100, 300, privrange.Accuracy{Alpha: 0.05, Delta: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunhealthy-band count: %.0f (eps' %.4f)\n", ans.Clamped, ans.EpsilonPrime)
+	fmt.Printf("cumulative privacy spent across all releases: %.4f\n", sys.SpentBudget())
+}

@@ -1,0 +1,104 @@
+// Marketplace: the trading layer end to end, over a real TCP connection.
+// An honest consumer and the averaging adversary of Example 4.1 shop at
+// two brokers — one with the audited arbitrage-avoiding tariff, one with
+// a deliberately exploitable tariff — and the ledgers show who paid what.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privrange/internal/core"
+	"privrange/internal/dataset"
+	"privrange/internal/estimator"
+	"privrange/internal/iot"
+	"privrange/internal/market"
+	"privrange/internal/pricing"
+)
+
+func main() {
+	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := estimator.Accuracy{Alpha: 0.05, Delta: 0.8}
+	fmt.Println("target purchase: Λ(alpha=0.05, delta=0.8) on particulate_matter[60, 160]")
+	fmt.Println()
+
+	safe, err := market.NewBroker(pricing.BaseFeePlusInverse{Base: 2, C: 1e9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runScenario("SAFE tariff (base fee + c/V, passes the Theorem 4.2 audit)", safe, series, target)
+
+	unsafe, err := market.NewBrokerUnchecked(pricing.UnsafeSteep{C: 1e16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	runScenario("UNSAFE tariff (c/V², fails the audit — NewBroker would refuse it)", unsafe, series, target)
+}
+
+func runScenario(title string, broker *market.Broker, series *dataset.Series, target estimator.Accuracy) {
+	fmt.Println("==", title)
+	parts, err := series.Partition(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := iot.New(parts, iot.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := core.New(nw, core.WithSeed(13))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := broker.Register("particulate_matter", engine, series.Len(), 12); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve over TCP so both consumers shop remotely.
+	srv, err := market.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	shop := func(name string, buy func(market.Market) (market.Purchase, error)) {
+		client, err := market.Dial(srv.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		p, err := buy(market.RemoteMarket{Client: client})
+		if err != nil {
+			log.Fatal(err)
+		}
+		strategy := "bought the target directly"
+		if p.Arbitrage {
+			strategy = fmt.Sprintf("averaged %d cheaper answers (arbitrage, saved %.2f)", len(p.Receipts), p.Savings())
+		}
+		fmt.Printf("  %-8s value=%9.1f paid=%8.2f (list %8.2f) — %s\n",
+			name, p.Value, p.Cost, p.DirectPrice, strategy)
+	}
+
+	shop("alice", func(m market.Market) (market.Purchase, error) {
+		return market.HonestConsumer{Name: "alice", Market: m}.
+			Buy("particulate_matter", 60, 160, target)
+	})
+	shop("mallory", func(m market.Market) (market.Purchase, error) {
+		return market.ArbitrageConsumer{Name: "mallory", Market: m, Menu: pricing.DefaultMenu()}.
+			Buy("particulate_matter", 60, 160, target)
+	})
+
+	truth, err := series.RangeCount(60, 160)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (true count %d; broker revenue %.2f over %d sales; alice paid %.2f, mallory %.2f)\n",
+		truth,
+		broker.Ledger().Revenue(),
+		broker.Ledger().Purchases(),
+		broker.Ledger().SpentBy("alice"),
+		broker.Ledger().SpentBy("mallory"))
+}

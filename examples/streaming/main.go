@@ -1,0 +1,54 @@
+// Streaming: continuous monitoring over a growing dataset. Readings
+// arrive in rounds; after each round the deployment refreshes its
+// samples (only new samples travel) and the broker answers a standing
+// pollution-alert query — how many readings this deployment has seen in
+// the elevated band (AQI ≥ 80) — under differential privacy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privrange"
+	"privrange/internal/dataset"
+)
+
+func main() {
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		initial   = 5000
+		roundSize = 1500
+	)
+	sys, err := privrange.NewSystem(series.Values[:initial], privrange.Options{Nodes: 12, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := privrange.Accuracy{Alpha: 0.08, Delta: 0.7}
+
+	fmt.Println("round    n       private>=80    truth   eps'     samples-shipped")
+	offset := initial
+	for round := 0; offset+roundSize <= series.Len() && round < 8; round++ {
+		if round > 0 {
+			if err := sys.Ingest(series.Values[offset : offset+roundSize]); err != nil {
+				log.Fatal(err)
+			}
+			offset += roundSize
+		}
+		ans, err := sys.Count(80, 300, acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := 0
+		for _, v := range series.Values[:offset] {
+			if v >= 80 && v <= 300 {
+				truth++
+			}
+		}
+		fmt.Printf("%5d %6d %14.0f %7d   %.4f   %d\n",
+			round, sys.N(), ans.Clamped, truth, ans.EpsilonPrime, sys.Cost().SamplesShipped)
+	}
+	fmt.Printf("\ncumulative privacy spent: %.4f over %d rounds\n", sys.SpentBudget(), 8)
+}

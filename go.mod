@@ -1,0 +1,3 @@
+module privrange
+
+go 1.22

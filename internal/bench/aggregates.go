@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"math"
+
+	"privrange/internal/histogram"
+	"privrange/internal/quantile"
+	"privrange/internal/stats"
+)
+
+// aqiBoundaries are the standard pollution bands the histogram
+// experiments release.
+var aqiBoundaries = []float64{0, 50, 100, 150, 200, 300}
+
+// AblationHistogram quantifies the parallel-composition advantage: mean
+// absolute per-band noise of one ε-DP histogram release versus answering
+// each band as a separate sequential range query at ε/B, across total
+// budgets.
+func AblationHistogram(c Config) (*Result, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	f, err := newFixture(c)
+	if err != nil {
+		return nil, err
+	}
+	const p = 0.3
+	root := stats.NewRNG(c.Seed + 4)
+	sets, err := f.draw(p, root.Child(0))
+	if err != nil {
+		return nil, err
+	}
+	b := histogram.Builder{P: p}
+	base, err := b.Estimate(sets, aqiBoundaries)
+	if err != nil {
+		return nil, err
+	}
+	numBands := float64(base.Buckets())
+	res := &Result{
+		Name:   "ablation-histogram",
+		Title:  "per-band noise: parallel composition vs per-band sequential queries (p=0.3)",
+		XLabel: "total_epsilon",
+		Series: []string{"parallel_mae", "sequential_mae"},
+	}
+	trials := c.Trials * 20
+	for _, eps := range []float64{0.1, 0.2, 0.5, 1, 2} {
+		var par, seq stats.Running
+		rng := root.Child(int64(eps * 1000))
+		for trial := 0; trial < trials; trial++ {
+			hp, err := b.Private(sets, aqiBoundaries, eps, rng)
+			if err != nil {
+				return nil, err
+			}
+			hs, err := b.Private(sets, aqiBoundaries, eps/numBands, rng)
+			if err != nil {
+				return nil, err
+			}
+			for i := range base.Counts {
+				par.Add(math.Abs(hp.Counts[i] - base.Counts[i]))
+				seq.Add(math.Abs(hs.Counts[i] - base.Counts[i]))
+			}
+		}
+		if err := res.Add(eps, par.Mean(), seq.Mean()); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// AblationQuantile measures private-quantile rank error (as a fraction
+// of n) across privacy budgets for the median and the tails.
+func AblationQuantile(c Config) (*Result, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	f, err := newFixture(c)
+	if err != nil {
+		return nil, err
+	}
+	const p = 0.3
+	root := stats.NewRNG(c.Seed + 5)
+	sets, err := f.draw(p, root.Child(0))
+	if err != nil {
+		return nil, err
+	}
+	est := quantile.Estimator{P: p}
+	qs := []float64{0.1, 0.5, 0.9}
+	series := []string{"q10_rank_err", "q50_rank_err", "q90_rank_err"}
+	res := &Result{
+		Name:   "ablation-quantile",
+		Title:  "private quantile rank error (fraction of n) vs epsilon (p=0.3)",
+		XLabel: "epsilon",
+		Series: series,
+	}
+	// Exact rank oracle over the underlying series.
+	rankOf := func(v float64) float64 {
+		count := 0
+		for _, x := range f.series.Values {
+			if x <= v {
+				count++
+			}
+		}
+		return float64(count)
+	}
+	n := float64(f.n)
+	trials := c.Trials * 4
+	for _, eps := range []float64{0.05, 0.1, 0.5, 1, 2} {
+		row := make([]float64, len(qs))
+		rng := root.Child(int64(eps * 1000))
+		for qi, q := range qs {
+			var acc stats.Running
+			for trial := 0; trial < trials; trial++ {
+				v, err := est.PrivateQuantile(sets, q, eps, rng)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(math.Abs(rankOf(v)-q*n) / n)
+			}
+			row[qi] = acc.Mean()
+		}
+		if err := res.Add(eps, row...); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+// Package bench contains the experiment harness that regenerates every
+// figure in the paper's evaluation (Figs 2–6) plus the ablations
+// DESIGN.md calls out. Each runner is deterministic given its config and
+// returns a Result — the same series the paper plots — which callers
+// print as a text table or CSV. cmd/experiments and the repository-root
+// benchmarks are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one experiment's output: an x-column plus one or more named
+// y-series.
+type Result struct {
+	// Name is the experiment id, e.g. "fig2".
+	Name string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the x column.
+	XLabel string
+	// Series names the y columns.
+	Series []string
+	// Rows holds the data; each row's Y has len(Series) entries.
+	Rows []Row
+}
+
+// Row is one x position with its y values.
+type Row struct {
+	X float64
+	Y []float64
+}
+
+// Add appends a row, validating its width.
+func (r *Result) Add(x float64, ys ...float64) error {
+	if len(ys) != len(r.Series) {
+		return fmt.Errorf("bench: row has %d values, result has %d series", len(ys), len(r.Series))
+	}
+	r.Rows = append(r.Rows, Row{X: x, Y: ys})
+	return nil
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", r.Name, r.Title)
+	fmt.Fprintf(&b, "%-12s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12.5g", row.X)
+		for _, y := range row.Y {
+			fmt.Fprintf(&b, " %14.6g", y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the result as CSV with a header row.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(r.XLabel)
+	for _, s := range r.Series {
+		b.WriteByte(',')
+		b.WriteString(s)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%g", row.X)
+		for _, y := range row.Y {
+			fmt.Fprintf(&b, ",%g", y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Column returns one named series as a slice.
+func (r *Result) Column(name string) ([]float64, error) {
+	idx := -1
+	for i, s := range r.Series {
+		if s == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("bench: result %s has no series %q", r.Name, name)
+	}
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.Y[idx]
+	}
+	return out, nil
+}
+
+// Xs returns the x column.
+func (r *Result) Xs() []float64 {
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.X
+	}
+	return out
+}

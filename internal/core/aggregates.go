@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"privrange/internal/dp"
+	"privrange/internal/histogram"
+	"privrange/internal/quantile"
+	"privrange/internal/topk"
+)
+
+// defaultAggregateRate is the sampling rate auto-collection targets for
+// the fixed-ε aggregate releases (histogram, quantile) when no samples
+// exist yet. The (α, δ) range-counting path chooses its own rate from
+// Theorem 3.3; these aggregates take ε directly, so the engine picks a
+// rate that keeps the 1/p sensitivity small.
+const defaultAggregateRate = 0.2
+
+// ensureSamples makes sure the base station holds a usable sample,
+// collecting at the default aggregate rate when permitted.
+func (e *Engine) ensureSamples() (float64, error) {
+	rate := e.src.Rate()
+	if rate > 0 {
+		return rate, nil
+	}
+	if !e.auto {
+		return 0, fmt.Errorf("core: no samples collected yet (auto-collect disabled)")
+	}
+	if err := e.src.EnsureRate(defaultAggregateRate); err != nil {
+		return 0, err
+	}
+	return e.src.Rate(), nil
+}
+
+// Histogram releases an ε-DP band histogram over the given boundaries
+// (see internal/histogram: disjoint bands compose in parallel, so the
+// whole histogram costs one ε). The effective amplified budget
+// ln(1+p(e^ε−1)) is charged to the accountant and returned.
+func (e *Engine) Histogram(boundaries []float64, epsilon float64) (*histogram.Histogram, float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rate, err := e.ensureSamples()
+	if err != nil {
+		return nil, 0, err
+	}
+	b := histogram.Builder{P: rate}
+	effective, err := b.EffectiveEpsilon(epsilon)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Compute first, charge second: a failed computation must not burn
+	// budget, and an uncharged result is simply not returned.
+	h, err := b.Private(e.src.SampleSets(), boundaries, epsilon, e.rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.accountant != nil {
+		if err := e.accountant.Spend(effective); err != nil {
+			return nil, 0, err
+		}
+	}
+	return h, effective, nil
+}
+
+// TopK releases the k most frequent readings under ε-DP (peeling
+// exponential mechanism plus noisy counts; see internal/topk). The
+// effective amplified budget is charged and returned.
+func (e *Engine) TopK(k int, epsilon float64) ([]topk.Hitter, float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rate, err := e.ensureSamples()
+	if err != nil {
+		return nil, 0, err
+	}
+	effective, err := dp.AmplifyBySampling(epsilon, rate)
+	if err != nil {
+		return nil, 0, err
+	}
+	est := topk.Estimator{P: rate}
+	hitters, err := est.PrivateTop(e.src.SampleSets(), k, epsilon, e.rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.accountant != nil {
+		if err := e.accountant.Spend(effective); err != nil {
+			return nil, 0, err
+		}
+	}
+	return hitters, effective, nil
+}
+
+// Quantile releases an ε-DP q-quantile via the exponential mechanism
+// over the collected samples. The effective amplified budget is charged
+// and returned alongside the value.
+func (e *Engine) Quantile(q, epsilon float64) (float64, float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rate, err := e.ensureSamples()
+	if err != nil {
+		return 0, 0, err
+	}
+	effective, err := dp.AmplifyBySampling(epsilon, rate)
+	if err != nil {
+		return 0, 0, err
+	}
+	est := quantile.Estimator{P: rate}
+	v, err := est.PrivateQuantile(e.src.SampleSets(), q, epsilon, e.rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	if e.accountant != nil {
+		if err := e.accountant.Spend(effective); err != nil {
+			return 0, 0, err
+		}
+	}
+	return v, effective, nil
+}

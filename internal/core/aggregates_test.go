@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+)
+
+var aqiBands = []float64{0, 50, 100, 150, 300}
+
+func TestEngineHistogram(t *testing.T) {
+	t.Parallel()
+	nw, series := buildNetwork(t, 8, 0, 51)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithSeed(3), WithAccountant(acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, effective, err := eng.Histogram(aqiBands, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 4 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	if effective <= 0 || effective >= 1 {
+		t.Errorf("effective epsilon %v should be amplified into (0, 1)", effective)
+	}
+	if got := acct.Spent(); math.Abs(got-effective) > 1e-12 {
+		t.Errorf("accountant spent %v, want %v", got, effective)
+	}
+	// Histogram total should be near |D| (noise is small at eps=1).
+	if math.Abs(h.Total()-float64(series.Len())) > 0.05*float64(series.Len()) {
+		t.Errorf("total %v far from n=%d", h.Total(), series.Len())
+	}
+	if nw.Rate() != defaultAggregateRate {
+		t.Errorf("auto-collection should use the default aggregate rate, got %v", nw.Rate())
+	}
+}
+
+func TestEngineHistogramFailuresDoNotSpend(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 4000, 53)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithAccountant(acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Histogram([]float64{5, 1}, 1.0); err == nil {
+		t.Fatal("unsorted boundaries should fail")
+	}
+	if _, _, err := eng.Histogram(aqiBands, 0); err == nil {
+		t.Fatal("epsilon=0 should fail")
+	}
+	if _, _, err := eng.Histogram(aqiBands, -1); err == nil {
+		t.Fatal("negative epsilon should fail")
+	}
+	if acct.Spent() != 0 {
+		t.Errorf("failed releases must not spend budget, spent %v", acct.Spent())
+	}
+}
+
+func TestEngineQuantile(t *testing.T) {
+	t.Parallel()
+	nw, series := buildNetwork(t, 8, 0, 55)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithSeed(7), WithAccountant(acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, effective, err := eng.Quantile(0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effective <= 0 {
+		t.Errorf("effective epsilon %v", effective)
+	}
+	if got := acct.Spent(); math.Abs(got-effective) > 1e-12 {
+		t.Errorf("accountant spent %v, want %v", got, effective)
+	}
+	// The released value's true rank must be within 5% of n of the
+	// median.
+	rank := 0
+	for _, x := range series.Values {
+		if x <= v {
+			rank++
+		}
+	}
+	n := float64(series.Len())
+	if math.Abs(float64(rank)-0.5*n) > 0.05*n {
+		t.Errorf("released median %v has rank %d, want ~%v", v, rank, 0.5*n)
+	}
+}
+
+func TestEngineQuantileValidation(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 4000, 57)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithAccountant(acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Quantile(0, 1); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if _, _, err := eng.Quantile(0.5, -1); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if acct.Spent() != 0 {
+		t.Errorf("failed releases must not spend budget, spent %v", acct.Spent())
+	}
+}
+
+func TestAggregatesWithoutAutoCollect(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 4000, 59)
+	eng, err := New(nw, WithAutoCollect(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Histogram(aqiBands, 1); err == nil {
+		t.Error("histogram without samples and auto-collect should fail")
+	}
+	if _, _, err := eng.Quantile(0.5, 1); err == nil {
+		t.Error("quantile without samples and auto-collect should fail")
+	}
+	// After manual collection both work.
+	if err := nw.EnsureRate(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Histogram(aqiBands, 1); err != nil {
+		t.Errorf("histogram after manual collection: %v", err)
+	}
+	if _, _, err := eng.Quantile(0.5, 1); err != nil {
+		t.Errorf("quantile after manual collection: %v", err)
+	}
+}
+
+func TestAggregatesShareBudgetWithCounts(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 8000, 61)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithAccountant(acct), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Answer(estimator.Query{L: 20, U: 80}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, histEps, err := eng.Histogram(aqiBands, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, quantEps, err := eng.Quantile(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ans.Plan.EpsilonPrime + histEps + quantEps
+	if got := acct.Spent(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("spent %v, want sum of all releases %v", got, want)
+	}
+}
+
+func TestEngineTopK(t *testing.T) {
+	t.Parallel()
+	nw, series := buildNetwork(t, 6, 0, 95)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithSeed(13), WithAccountant(acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitters, effective, err := eng.TopK(5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hitters) != 5 {
+		t.Fatalf("hitters = %+v", hitters)
+	}
+	if effective <= 0 || acct.Spent() != effective {
+		t.Errorf("budget accounting wrong: eff=%v spent=%v", effective, acct.Spent())
+	}
+	// Each reported value should actually be a frequent reading: its true
+	// frequency within 6 sigma of the reported (noisy) count.
+	for _, h := range hitters {
+		truth, err := series.RangeCount(h.Value, h.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			t.Errorf("reported hitter %v does not exist in the data", h.Value)
+		}
+	}
+	if _, _, err := eng.TopK(0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := eng.TopK(3, -1); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+)
+
+// AnswerBatch serves many range queries at one shared accuracy level.
+// The optimization problem depends only on (α, δ) and the deployment
+// state, so the plan is solved once and reused; each released answer
+// still carries fresh independent noise and spends its own ε′ (m
+// releases compose sequentially — the total m·ε′ is charged up front,
+// all-or-nothing). The answer cache is bypassed: batch semantics promise
+// independent noise per query.
+func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) ([]*Answer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	for i, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	plan, err := e.plan(acc)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := dp.NewMechanism(plan.Epsilon, plan.Sensitivity)
+	if err != nil {
+		return nil, err
+	}
+	if e.accountant != nil {
+		if err := e.accountant.Spend(plan.EpsilonPrime * float64(len(queries))); err != nil {
+			return nil, err
+		}
+	}
+	rate := e.src.Rate()
+	rc := estimator.RankCounting{P: rate}
+	sets := e.src.SampleSets()
+	out := make([]*Answer, len(queries))
+	for i, q := range queries {
+		raw, err := rc.Estimate(sets, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &Answer{
+			Query:    q,
+			Accuracy: acc,
+			Value:    mech.Perturb(raw, e.rng),
+			Plan:     plan,
+			Rate:     rate,
+			Nodes:    e.src.NumNodes(),
+			N:        e.src.TotalN(),
+		}
+	}
+	return out, nil
+}

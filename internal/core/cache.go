@@ -1,0 +1,59 @@
+package core
+
+import (
+	"privrange/internal/estimator"
+)
+
+// answerKey identifies a repeatable request.
+type answerKey struct {
+	l, u, alpha, delta float64
+}
+
+// answerCache remembers released answers. Re-serving a value that has
+// already been published is free under differential privacy
+// (post-processing), so a caching broker charges no additional budget
+// for repeat requests — and structurally defeats the averaging attack:
+// buying the same answer m times returns m identical values whose mean
+// has the variance of a single purchase.
+//
+// Entries are valid only for the dataset state they were released
+// against; any change to |D| (streaming ingestion) or to the sampling
+// rate invalidates the whole cache, because a fresh answer would be
+// computed from different samples.
+type answerCache struct {
+	entries map[answerKey]*Answer
+	n       int
+	rate    float64
+}
+
+func newAnswerCache() *answerCache {
+	return &answerCache{entries: make(map[answerKey]*Answer)}
+}
+
+// lookup returns the cached answer for the request if the dataset state
+// still matches.
+func (c *answerCache) lookup(q estimator.Query, acc estimator.Accuracy, n int, rate float64) (*Answer, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if n != c.n || rate != c.rate {
+		return nil, false
+	}
+	ans, ok := c.entries[answerKey{l: q.L, u: q.U, alpha: acc.Alpha, delta: acc.Delta}]
+	return ans, ok
+}
+
+// store records a released answer, resetting the cache when the dataset
+// state moved since the last store.
+func (c *answerCache) store(ans *Answer, n int, rate float64) {
+	if c == nil {
+		return
+	}
+	if n != c.n || rate != c.rate {
+		c.entries = make(map[answerKey]*Answer)
+		c.n = n
+		c.rate = rate
+	}
+	key := answerKey{l: ans.Query.L, u: ans.Query.U, alpha: ans.Accuracy.Alpha, delta: ans.Accuracy.Delta}
+	c.entries[key] = ans
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+)
+
+func TestAnswerCacheHitIsFreeAndIdentical(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 6, 8000, 71)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithSeed(3), WithAccountant(acct), WithAnswerCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 30, U: 90}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	first, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := acct.Spent()
+	for i := 0; i < 5; i++ {
+		again, err := eng.Answer(q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Value != first.Value {
+			t.Fatalf("cached answer differs: %v vs %v", again.Value, first.Value)
+		}
+	}
+	if acct.Spent() != spent {
+		t.Errorf("cache hits must not spend budget: %v -> %v", spent, acct.Spent())
+	}
+	// A different request is a fresh release.
+	other, err := eng.Answer(estimator.Query{L: 30, U: 91}, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Value == first.Value {
+		t.Error("different query should not hit the cache")
+	}
+	if acct.Spent() <= spent {
+		t.Error("fresh release must spend budget")
+	}
+}
+
+func TestAnswerCacheInvalidatedByIngest(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 6000, 73)
+	eng, err := New(nw, WithSeed(5), WithAnswerCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 30, U: 90}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	first, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New data arrives; the cached answer describes a stale dataset.
+	if err := nw.Ingest(0, []float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.EnsureRate(nw.Rate()); err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Value == first.Value {
+		t.Error("ingest should invalidate the cache")
+	}
+	if again.N == first.N {
+		t.Error("fresh answer should see the new dataset size")
+	}
+}
+
+func TestAnswerCacheDisabledByDefault(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 6000, 75)
+	eng, err := New(nw, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 30, U: 90}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	a, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value == b.Value {
+		t.Error("without caching, repeat answers draw fresh noise")
+	}
+}
+
+// TestCacheDefeatsAveraging: with caching on, m repeat purchases return
+// identical values, so their mean carries the full single-answer
+// deviation — the averaging attack gains nothing.
+func TestCacheDefeatsAveraging(t *testing.T) {
+	t.Parallel()
+	nw, series := buildNetwork(t, 6, 8000, 77)
+	eng, err := New(nw, WithSeed(9), WithAnswerCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 30, U: 90}
+	acc := estimator.Accuracy{Alpha: 0.2, Delta: 0.3} // cheap, noisy item
+	truth, err := series.RangeCount(q.L, q.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const copies = 20
+	sum := 0.0
+	var firstVal float64
+	for i := 0; i < copies; i++ {
+		ans, err := eng.Answer(q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstVal = ans.Value
+		}
+		sum += ans.Value
+	}
+	mean := sum / copies
+	// Floating-point summation slack only; the values are identical.
+	if diff := mean - firstVal; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("averaging cached copies should change nothing: mean %v vs single %v", mean, firstVal)
+	}
+	_ = truth // the deviation of mean equals the single-answer deviation by construction
+}

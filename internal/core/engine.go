@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution end to end:
+// the broker-side engine that turns a customer's (α, δ)-range-counting
+// request into an ε′-differentially-private answer with the smallest
+// feasible ε′.
+//
+// The pipeline per query (§III):
+//
+//  1. Check feasibility of (α, δ) against the sampling rate the base
+//     station currently holds; optionally drive the IoT network to
+//     collect more samples (the paper's re-collection path).
+//  2. Solve optimization problem (3) for the internal split (α′, δ′) and
+//     the minimal Laplace budget ε; privacy amplification by sampling
+//     turns that into the effective guarantee ε′ = ln(1 + p(e^ε − 1)).
+//  3. Compute the (α′, δ′) RankCounting estimate from the per-node
+//     sample sets.
+//  4. Release estimate + Lap(Δγ̂/ε), which is an ε′-DP (α, δ)-range
+//     counting, and charge the cumulative privacy accountant.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+	"privrange/internal/optimize"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// Source is the engine's view of a sampled IoT deployment.
+// iot.Network implements it.
+type Source interface {
+	// EnsureRate drives collection until the base station holds a
+	// Bernoulli(p) sample from every node.
+	EnsureRate(p float64) error
+	// SampleSets returns the per-node sample sets, ordered by node id.
+	SampleSets() []*sampling.SampleSet
+	// Rate returns the sampling rate currently guaranteed.
+	Rate() float64
+	// NumNodes returns k.
+	NumNodes() int
+	// TotalN returns |D|.
+	TotalN() int
+}
+
+// ErrUnachievable reports that the requested accuracy cannot be met even
+// after sampling every record — no noise margin remains.
+var ErrUnachievable = errors.New("core: accuracy unachievable even at full sampling")
+
+// Engine is the broker-side private query engine. It is safe for
+// concurrent use: every query path serializes on an internal mutex,
+// which also guards the underlying Source (network state, sample sets)
+// and the noise RNG.
+type Engine struct {
+	mu         sync.Mutex
+	src        Source
+	rng        *stats.RNG
+	accountant *dp.Accountant
+	auto       bool
+	margin     float64
+	cache      *answerCache
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSeed fixes the noise RNG seed for reproducible experiments. The
+// default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(e *Engine) { e.rng = stats.NewRNG(seed) }
+}
+
+// WithAccountant attaches a shared privacy-budget accountant; every
+// answered query spends its effective ε′ there.
+func WithAccountant(a *dp.Accountant) Option {
+	return func(e *Engine) { e.accountant = a }
+}
+
+// WithAutoCollect controls whether the engine may command the network to
+// raise its sampling rate when a request is infeasible at the current
+// rate. Enabled by default.
+func WithAutoCollect(enabled bool) Option {
+	return func(e *Engine) { e.auto = enabled }
+}
+
+// WithAnswerCache enables released-answer caching: a repeated request
+// (same range, same accuracy, unchanged dataset state) is served the
+// previously released value at zero additional privacy cost —
+// re-publishing a published value is free post-processing under
+// differential privacy. Side effect on the market: buying the same
+// answer m times yields m identical copies, so averaging them gains
+// nothing; the caching broker is structurally immune to the Example 4.1
+// attack. Disabled by default (the paper's broker draws fresh noise per
+// sale).
+func WithAnswerCache(enabled bool) Option {
+	return func(e *Engine) {
+		if enabled {
+			e.cache = newAnswerCache()
+		} else {
+			e.cache = nil
+		}
+	}
+}
+
+// WithCollectionMargin sets the factor by which auto-collection oversamples
+// relative to the Theorem 3.3 feasibility threshold, leaving headroom for
+// the noise phase. The default is 2; values below are rejected at New.
+func WithCollectionMargin(m float64) Option {
+	return func(e *Engine) { e.margin = m }
+}
+
+// New builds an engine over a sampled source.
+func New(src Source, opts ...Option) (*Engine, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil source")
+	}
+	e := &Engine{
+		src:    src,
+		rng:    stats.NewRNG(1),
+		auto:   true,
+		margin: 2,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.margin < 1 {
+		return nil, fmt.Errorf("core: collection margin %v must be >= 1", e.margin)
+	}
+	return e, nil
+}
+
+// Answer is a released private range-counting result plus its full
+// provenance (everything a customer is allowed to see).
+type Answer struct {
+	// Query and Accuracy echo the request.
+	Query    estimator.Query
+	Accuracy estimator.Accuracy
+	// Value is the released ε′-DP estimate. It can be negative or exceed
+	// n — unbiasedness forbids truncation; use Clamped for display.
+	Value float64
+	// Plan is the optimizer's solution: (α′, δ′, ε, ε′) and the noise
+	// scale actually used.
+	Plan optimize.Plan
+	// Rate is the sampling rate the answer was computed at.
+	Rate float64
+	// Nodes and N describe the deployment (public metadata).
+	Nodes, N int
+}
+
+// Clamped returns the answer value truncated to the physically possible
+// range [0, N]. Clamping is safe post-processing under DP but breaks
+// unbiasedness, so it is opt-in.
+func (a *Answer) Clamped() float64 {
+	return math.Max(0, math.Min(float64(a.N), a.Value))
+}
+
+// Answer serves one (α, δ)-range-counting request (Definition 2.2).
+func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if cached, ok := e.cache.lookup(q, acc, e.src.TotalN(), e.src.Rate()); ok {
+		return cached, nil
+	}
+	plan, err := e.plan(acc)
+	if err != nil {
+		return nil, err
+	}
+	rate := e.src.Rate()
+	rc := estimator.RankCounting{P: rate}
+	raw, err := rc.Estimate(e.src.SampleSets(), q)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := dp.NewMechanism(plan.Epsilon, plan.Sensitivity)
+	if err != nil {
+		return nil, err
+	}
+	if e.accountant != nil {
+		if err := e.accountant.Spend(plan.EpsilonPrime); err != nil {
+			return nil, err
+		}
+	}
+	ans := &Answer{
+		Query:    q,
+		Accuracy: acc,
+		Value:    mech.Perturb(raw, e.rng),
+		Plan:     plan,
+		Rate:     rate,
+		Nodes:    e.src.NumNodes(),
+		N:        e.src.TotalN(),
+	}
+	e.cache.store(ans, ans.N, ans.Rate)
+	return ans, nil
+}
+
+// EstimateOnly returns the broker-internal (α′, δ′) sampling estimate
+// without noise. It never leaves the broker: experiments use it to
+// separate sampling error from perturbation error (Figs 2–4). It does not
+// spend privacy budget because nothing is released.
+func (e *Engine) EstimateOnly(q estimator.Query) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rate := e.src.Rate()
+	if rate <= 0 {
+		return 0, fmt.Errorf("core: no samples collected yet")
+	}
+	rc := estimator.RankCounting{P: rate}
+	return rc.Estimate(e.src.SampleSets(), q)
+}
+
+// plan solves problem (3) at the current rate, optionally raising the
+// rate until the request becomes feasible.
+func (e *Engine) plan(acc estimator.Accuracy) (optimize.Plan, error) {
+	if err := acc.Validate(); err != nil {
+		return optimize.Plan{}, err
+	}
+	k, n := e.src.NumNodes(), e.src.TotalN()
+	attempt := func() (optimize.Plan, error) {
+		prob := optimize.Problem{
+			Accuracy: acc,
+			P:        e.src.Rate(),
+			K:        k,
+			N:        n,
+		}
+		if prob.P <= 0 {
+			return optimize.Plan{}, optimize.ErrInfeasible
+		}
+		return prob.SolveRefined()
+	}
+	plan, err := attempt()
+	if err == nil {
+		return plan, nil
+	}
+	if !errors.Is(err, optimize.ErrInfeasible) || !e.auto {
+		return optimize.Plan{}, err
+	}
+	// Re-collection path: oversample past the feasibility threshold, then
+	// double until feasible or saturated at p = 1.
+	need, rerr := estimator.RequiredProbability(acc, k, n)
+	if rerr != nil {
+		return optimize.Plan{}, rerr
+	}
+	target := math.Min(1, need*e.margin)
+	if cur := e.src.Rate(); target <= cur {
+		target = math.Min(1, cur*2)
+	}
+	for {
+		if err := e.src.EnsureRate(target); err != nil {
+			return optimize.Plan{}, err
+		}
+		plan, err := attempt()
+		if err == nil {
+			return plan, nil
+		}
+		if !errors.Is(err, optimize.ErrInfeasible) {
+			return optimize.Plan{}, err
+		}
+		if target >= 1 {
+			return optimize.Plan{}, fmt.Errorf("%w: %v", ErrUnachievable, err)
+		}
+		target = math.Min(1, target*2)
+	}
+}
+
+// Plan exposes the optimizer outcome for a hypothetical request without
+// answering it (used for quoting prices before purchase). It never
+// changes the sampling rate and spends no budget.
+func (e *Engine) Plan(acc estimator.Accuracy) (optimize.Plan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := acc.Validate(); err != nil {
+		return optimize.Plan{}, err
+	}
+	prob := optimize.Problem{
+		Accuracy: acc,
+		P:        e.src.Rate(),
+		K:        e.src.NumNodes(),
+		N:        e.src.TotalN(),
+	}
+	if prob.P <= 0 {
+		return optimize.Plan{}, optimize.ErrInfeasible
+	}
+	return prob.SolveRefined()
+}

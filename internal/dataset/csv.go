@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvTimeLayout is the timestamp format used by the CSV representation.
+const csvTimeLayout = "2006-01-02 15:04:05"
+
+// WriteCSV writes the table in CityPulse-style CSV: a header row followed
+// by timestamp,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,
+// nitrogen_dioxide rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, numPollutants+1)
+	header = append(header, "timestamp")
+	for _, p := range Pollutants() {
+		header = append(header, p.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	row := make([]string, numPollutants+1)
+	for i, r := range t.Records {
+		row[0] = r.Time.UTC().Format(csvTimeLayout)
+		for j, v := range r.Values {
+			row[j+1] = strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a table previously produced by WriteCSV (or a real
+// CityPulse export with the same columns).
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = numPollutants + 1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	if header[0] != "timestamp" {
+		return nil, fmt.Errorf("dataset: first column is %q, want \"timestamp\"", header[0])
+	}
+	// Map each CSV column to its pollutant so column order is flexible.
+	cols := make([]Pollutant, numPollutants)
+	for i, name := range header[1:] {
+		p, err := ParsePollutant(name)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv column %d: %w", i+1, err)
+		}
+		cols[i] = p
+	}
+
+	table := &Table{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+		}
+		ts, err := time.Parse(csvTimeLayout, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d timestamp: %w", line, err)
+		}
+		rec := Record{Time: ts.UTC()}
+		for i, field := range row[1:] {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d column %s: %w", line, cols[i], err)
+			}
+			rec.Values[cols[i]-1] = v
+		}
+		table.Records = append(table.Records, rec)
+	}
+	return table, nil
+}

@@ -1,0 +1,378 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	t.Parallel()
+	table, err := Generate(GenerateConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != CityPulseRecords {
+		t.Fatalf("Len = %d, want %d", table.Len(), CityPulseRecords)
+	}
+	if got := table.Records[0].Time; !got.Equal(CityPulseStart) {
+		t.Errorf("first timestamp = %v, want %v", got, CityPulseStart)
+	}
+	last := table.Records[table.Len()-1].Time
+	wantLast := CityPulseStart.Add(time.Duration(CityPulseRecords-1) * CityPulseStep)
+	if !last.Equal(wantLast) {
+		t.Errorf("last timestamp = %v, want %v", last, wantLast)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	a, err := Generate(GenerateConfig{Seed: 42, Records: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenerateConfig{Seed: 42, Records: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed should generate identical tables")
+	}
+	c, err := Generate(GenerateConfig{Seed: 43, Records: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should generate different tables")
+	}
+}
+
+func TestGenerateRejectsNegativeRecords(t *testing.T) {
+	t.Parallel()
+	if _, err := Generate(GenerateConfig{Records: -1}); err == nil {
+		t.Error("negative record count should fail")
+	}
+}
+
+func TestGeneratedSeriesShape(t *testing.T) {
+	t.Parallel()
+	table, err := Generate(GenerateConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Pollutants() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			s, err := table.Series(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := s.Summarize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := models[p]
+			if sum.Min < m.min || sum.Max > m.max {
+				t.Errorf("values outside clamp: min=%v max=%v", sum.Min, sum.Max)
+			}
+			// The marginal should keep substantial mass near its base level.
+			if math.Abs(sum.Median-m.base) > m.base {
+				t.Errorf("median %v implausibly far from base %v", sum.Median, m.base)
+			}
+			if sum.StdDev <= 0 {
+				t.Error("series should have positive spread")
+			}
+			// Integer-valued readings.
+			for _, v := range s.Values[:100] {
+				if v != math.Round(v) {
+					t.Fatalf("non-integer reading %v", v)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratedSeriesAutocorrelated(t *testing.T) {
+	t.Parallel()
+	s, err := GenerateSeries(ParticulateMatter, GenerateConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lag-1 autocorrelation should be strongly positive for AQ series.
+	n := s.Len()
+	var mean float64
+	for _, v := range s.Values {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-1; i++ {
+		num += (s.Values[i] - mean) * (s.Values[i+1] - mean)
+	}
+	for _, v := range s.Values {
+		den += (v - mean) * (v - mean)
+	}
+	if ac := num / den; ac < 0.5 {
+		t.Errorf("lag-1 autocorrelation = %v, want strongly positive", ac)
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	t.Parallel()
+	s := &Series{Pollutant: Ozone, Values: []float64{1, 2, 3, 4, 5, 5, 9}}
+	cases := []struct {
+		name string
+		l, u float64
+		want int
+	}{
+		{name: "all", l: 0, u: 10, want: 7},
+		{name: "inclusive bounds", l: 2, u: 5, want: 5},
+		{name: "point", l: 5, u: 5, want: 2},
+		{name: "empty", l: 6, u: 8, want: 0},
+		{name: "left open", l: -10, u: 2.5, want: 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := s.RangeCount(tc.l, tc.u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("RangeCount(%v, %v) = %d, want %d", tc.l, tc.u, got, tc.want)
+			}
+		})
+	}
+	if _, err := s.RangeCount(5, 1); err == nil {
+		t.Error("l > u should fail")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	t.Parallel()
+	s := &Series{Values: make([]float64, 1000)}
+	half, err := s.Truncate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Len() != 500 {
+		t.Errorf("Truncate(0.5).Len = %d, want 500", half.Len())
+	}
+	tiny, err := s.Truncate(0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Len() != 1 {
+		t.Errorf("tiny truncation should keep one record, got %d", tiny.Len())
+	}
+	if _, err := s.Truncate(0); err == nil {
+		t.Error("frac=0 should fail")
+	}
+	if _, err := s.Truncate(1.5); err == nil {
+		t.Error("frac>1 should fail")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	t.Parallel()
+	s := &Series{Values: []float64{0, 1, 2, 3, 4, 5, 6}}
+	parts, err := s.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if total != s.Len() {
+		t.Errorf("partition sizes sum to %d, want %d", total, s.Len())
+	}
+	// Sizes differ by at most one.
+	for _, part := range parts {
+		if len(part) < s.Len()/3 || len(part) > s.Len()/3+1 {
+			t.Errorf("unbalanced part size %d", len(part))
+		}
+	}
+	// Contiguity: concatenation reproduces the series.
+	var flat []float64
+	for _, part := range parts {
+		flat = append(flat, part...)
+	}
+	if !reflect.DeepEqual(flat, s.Values) {
+		t.Error("contiguous partition should concatenate back to the series")
+	}
+
+	if _, err := s.Partition(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := s.Partition(8); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestPartitionInterleaved(t *testing.T) {
+	t.Parallel()
+	s := &Series{Values: []float64{0, 1, 2, 3, 4}}
+	parts, err := s.PartitionInterleaved(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parts[0], []float64{0, 2, 4}) || !reflect.DeepEqual(parts[1], []float64{1, 3}) {
+		t.Errorf("unexpected interleaving: %v", parts)
+	}
+	if _, err := s.PartitionInterleaved(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestPartitionPreservesRangeCounts(t *testing.T) {
+	t.Parallel()
+	s, err := GenerateSeries(Ozone, GenerateConfig{Seed: 3, Records: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(kRaw uint8, lRaw, span float64) bool {
+		k := int(kRaw)%64 + 1
+		l := math.Mod(math.Abs(lRaw), 200)
+		u := l + math.Mod(math.Abs(span), 100)
+		want, err := s.RangeCount(l, u)
+		if err != nil {
+			return false
+		}
+		parts, err := s.Partition(k)
+		if err != nil {
+			return false
+		}
+		got := 0
+		for _, part := range parts {
+			sub := &Series{Values: part}
+			c, err := sub.RangeCount(l, u)
+			if err != nil {
+				return false
+			}
+			got += c
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
+	table, err := Generate(GenerateConfig{Seed: 9, Records: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := table.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != table.Len() {
+		t.Fatalf("round-trip Len = %d, want %d", back.Len(), table.Len())
+	}
+	for i := range table.Records {
+		if !back.Records[i].Time.Equal(table.Records[i].Time) {
+			t.Fatalf("record %d time mismatch", i)
+		}
+		if back.Records[i].Values != table.Records[i].Values {
+			t.Fatalf("record %d values mismatch: %v vs %v", i, back.Records[i].Values, table.Records[i].Values)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: ""},
+		{name: "bad header", in: "a,b,c,d,e,f\n"},
+		{name: "bad pollutant", in: "timestamp,ozone,bogus,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide\n"},
+		{
+			name: "bad timestamp",
+			in: "timestamp,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide\n" +
+				"not-a-time,1,2,3,4,5\n",
+		},
+		{
+			name: "bad value",
+			in: "timestamp,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide\n" +
+				"2014-08-01 00:05:00,x,2,3,4,5\n",
+		},
+		{
+			name: "short row",
+			in: "timestamp,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide\n" +
+				"2014-08-01 00:05:00,1,2\n",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := ReadCSV(bytes.NewReader([]byte(tc.in))); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestPollutantParsing(t *testing.T) {
+	t.Parallel()
+	for _, p := range Pollutants() {
+		got, err := ParsePollutant(p.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Errorf("ParsePollutant(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePollutant("smog"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if Pollutant(0).Valid() || Pollutant(6).Valid() {
+		t.Error("out-of-range pollutants should be invalid")
+	}
+}
+
+func TestRecordValue(t *testing.T) {
+	t.Parallel()
+	var r Record
+	r.Values[Ozone-1] = 42
+	v, err := r.Value(Ozone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("Value = %v, want 42", v)
+	}
+	if _, err := r.Value(Pollutant(99)); err == nil {
+		t.Error("invalid pollutant should fail")
+	}
+}
+
+func TestSeriesErrors(t *testing.T) {
+	t.Parallel()
+	table := &Table{}
+	if _, err := table.Series(Pollutant(0)); err == nil {
+		t.Error("invalid pollutant should fail")
+	}
+	empty := &Series{}
+	if _, err := empty.Summarize(); err == nil {
+		t.Error("summarizing empty series should fail")
+	}
+}

@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV parser with arbitrary text: it must never
+// panic, and anything it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	table, err := Generate(GenerateConfig{Seed: 1, Records: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := table.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("timestamp,ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,nitrogen_dioxide\n")
+	f.Add("garbage")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		table, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := table.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != table.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), table.Len())
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package dp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant tracks cumulative privacy loss under sequential composition:
+// answering queries with budgets ε₁, ε₂, … on the same data consumes
+// ε₁+ε₂+… in total. A broker that keeps selling answers about the same
+// dataset uses the accountant to know (and bound) its total exposure.
+// Accountant is safe for concurrent use; its zero value has no cap.
+type Accountant struct {
+	mu    sync.Mutex
+	spent float64
+	cap   float64 // 0 means unlimited
+	n     int
+}
+
+// NewAccountant returns an accountant that refuses to exceed the given
+// total budget. A zero cap means unlimited. It returns an error for a
+// negative cap.
+func NewAccountant(totalBudget float64) (*Accountant, error) {
+	if totalBudget < 0 {
+		return nil, fmt.Errorf("dp: negative total budget %v", totalBudget)
+	}
+	return &Accountant{cap: totalBudget}, nil
+}
+
+// Spend records a query that consumed epsilon. It returns an error (and
+// records nothing) if epsilon is negative or the cap would be exceeded.
+func (a *Accountant) Spend(epsilon float64) error {
+	if epsilon < 0 {
+		return fmt.Errorf("dp: cannot spend negative epsilon %v", epsilon)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cap > 0 && a.spent+epsilon > a.cap {
+		return fmt.Errorf("dp: budget exhausted: spent %.4f + %.4f exceeds cap %.4f", a.spent, epsilon, a.cap)
+	}
+	a.spent += epsilon
+	a.n++
+	return nil
+}
+
+// Spent returns the cumulative privacy loss so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the budget left before the cap, or +Inf semantics via
+// ok=false when uncapped.
+func (a *Accountant) Remaining() (rem float64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cap == 0 {
+		return 0, false
+	}
+	return a.cap - a.spent, true
+}
+
+// Queries returns how many spends were recorded.
+func (a *Accountant) Queries() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}

@@ -1,0 +1,60 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SequentialComposition returns the exact privacy cost of answering k
+// queries at ε each under basic composition: k·ε (pure ε-DP, no δ).
+func SequentialComposition(epsilon float64, k int) (float64, error) {
+	if epsilon < 0 {
+		return 0, fmt.Errorf("dp: negative epsilon %v", epsilon)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("dp: negative composition count %d", k)
+	}
+	return float64(k) * epsilon, nil
+}
+
+// AdvancedComposition returns the total (ε_total, δ_slack)-DP guarantee
+// of k-fold composition of ε-DP mechanisms under the strong composition
+// theorem (Dwork, Rothblum & Vadhan 2010):
+//
+//	ε_total = √(2k·ln(1/δ_slack))·ε + k·ε·(e^ε − 1)
+//
+// For many small-ε queries this grows as √k instead of k, at the price
+// of a failure probability δ_slack. A broker selling hundreds of answers
+// about the same dataset uses this to report a much tighter cumulative
+// guarantee than the accountant's linear sum.
+func AdvancedComposition(epsilon, deltaSlack float64, k int) (float64, error) {
+	if epsilon < 0 {
+		return 0, fmt.Errorf("dp: negative epsilon %v", epsilon)
+	}
+	if deltaSlack <= 0 || deltaSlack >= 1 {
+		return 0, fmt.Errorf("dp: delta slack %v outside (0, 1)", deltaSlack)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("dp: negative composition count %d", k)
+	}
+	if k == 0 || epsilon == 0 {
+		return 0, nil
+	}
+	kf := float64(k)
+	return math.Sqrt(2*kf*math.Log(1/deltaSlack))*epsilon + kf*epsilon*math.Expm1(epsilon), nil
+}
+
+// BestComposition returns the smaller of the sequential and advanced
+// bounds — advanced composition is only an improvement once k is large
+// relative to ln(1/δ); below that the basic bound wins.
+func BestComposition(epsilon, deltaSlack float64, k int) (float64, error) {
+	seq, err := SequentialComposition(epsilon, k)
+	if err != nil {
+		return 0, err
+	}
+	adv, err := AdvancedComposition(epsilon, deltaSlack, k)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(seq, adv), nil
+}

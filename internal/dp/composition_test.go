@@ -1,0 +1,112 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialComposition(t *testing.T) {
+	t.Parallel()
+	got, err := SequentialComposition(0.1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("SequentialComposition = %v, want 5", got)
+	}
+	if _, err := SequentialComposition(-1, 3); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if _, err := SequentialComposition(1, -3); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestAdvancedCompositionFormula(t *testing.T) {
+	t.Parallel()
+	const (
+		eps   = 0.1
+		delta = 1e-6
+		k     = 100
+	)
+	got, err := AdvancedComposition(eps, delta, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2*100*math.Log(1e6))*0.1 + 100*0.1*(math.Exp(0.1)-1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AdvancedComposition = %v, want %v", got, want)
+	}
+}
+
+func TestAdvancedCompositionValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := AdvancedComposition(-1, 1e-6, 10); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if _, err := AdvancedComposition(1, 0, 10); err == nil {
+		t.Error("delta=0 should fail")
+	}
+	if _, err := AdvancedComposition(1, 1, 10); err == nil {
+		t.Error("delta=1 should fail")
+	}
+	if _, err := AdvancedComposition(1, 1e-6, -1); err == nil {
+		t.Error("negative k should fail")
+	}
+	got, err := AdvancedComposition(1, 1e-6, 0)
+	if err != nil || got != 0 {
+		t.Errorf("k=0 should compose to 0, got %v, %v", got, err)
+	}
+}
+
+func TestAdvancedBeatsSequentialForManySmallQueries(t *testing.T) {
+	t.Parallel()
+	// 1000 queries at ε=0.01: advanced should be far below 10.
+	seq, err := SequentialComposition(0.01, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := AdvancedComposition(0.01, 1e-6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv >= seq {
+		t.Errorf("advanced %v should beat sequential %v at k=1000", adv, seq)
+	}
+	if adv > seq/2 {
+		t.Errorf("advanced %v should be well below half of sequential %v", adv, seq)
+	}
+}
+
+func TestBestCompositionPicksMinimum(t *testing.T) {
+	t.Parallel()
+	f := func(epsRaw float64, kRaw uint16) bool {
+		eps := math.Mod(math.Abs(epsRaw), 2)
+		k := int(kRaw)%2000 + 1
+		seq, err := SequentialComposition(eps, k)
+		if err != nil {
+			return false
+		}
+		adv, err := AdvancedComposition(eps, 1e-9, k)
+		if err != nil {
+			return false
+		}
+		best, err := BestComposition(eps, 1e-9, k)
+		if err != nil {
+			return false
+		}
+		return best == math.Min(seq, adv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// For a single large-ε query the basic bound must win.
+	best, err := BestComposition(2, 1e-6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 2 {
+		t.Errorf("single query should cost exactly its epsilon, got %v", best)
+	}
+}

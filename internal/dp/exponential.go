@@ -1,0 +1,68 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/stats"
+)
+
+// ExponentialMechanism selects one of a set of candidates with
+// probability proportional to exp(ε·u/(2Δu)), where u is each
+// candidate's utility score and Δu the utility's sensitivity — the
+// standard ε-DP selection mechanism (McSherry & Talwar 2007). The
+// quantile release in internal/quantile uses it with
+// u(v) = −|rank(v) − target|.
+type ExponentialMechanism struct {
+	// Epsilon is the privacy budget ε > 0.
+	Epsilon float64
+	// Sensitivity is Δu > 0, the max change of any candidate's utility
+	// between neighbouring datasets.
+	Sensitivity float64
+}
+
+// NewExponentialMechanism validates the parameters.
+func NewExponentialMechanism(epsilon, sensitivity float64) (ExponentialMechanism, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return ExponentialMechanism{}, fmt.Errorf("dp: epsilon %v must be positive and finite", epsilon)
+	}
+	if sensitivity <= 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return ExponentialMechanism{}, fmt.Errorf("dp: sensitivity %v must be positive and finite", sensitivity)
+	}
+	return ExponentialMechanism{Epsilon: epsilon, Sensitivity: sensitivity}, nil
+}
+
+// Select returns the index of the chosen candidate. It uses the
+// Gumbel-max formulation — argmax over scaled utilities plus i.i.d.
+// Gumbel noise — which is exactly equivalent to softmax sampling but
+// immune to overflow for large ε·u. It returns an error for an empty or
+// non-finite utility list.
+func (m ExponentialMechanism) Select(utilities []float64, rng *stats.RNG) (int, error) {
+	if len(utilities) == 0 {
+		return 0, fmt.Errorf("dp: no candidates")
+	}
+	scale := m.Epsilon / (2 * m.Sensitivity)
+	best := -1
+	bestScore := math.Inf(-1)
+	for i, u := range utilities {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return 0, fmt.Errorf("dp: utility %d is %v", i, u)
+		}
+		gumbel := -math.Log(-math.Log(uniformOpen(rng)))
+		if score := u*scale + gumbel; score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// uniformOpen returns a uniform draw in the open interval (0, 1),
+// avoiding the log(0) singularities of the Gumbel transform.
+func uniformOpen(rng *stats.RNG) float64 {
+	for {
+		if u := rng.Float64(); u > 0 {
+			return u
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"privrange/internal/stats"
+)
+
+func TestNewExponentialMechanismValidation(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []struct{ eps, sens float64 }{
+		{0, 1}, {-1, 1}, {math.NaN(), 1}, {math.Inf(1), 1},
+		{1, 0}, {1, -1}, {1, math.NaN()},
+	} {
+		if _, err := NewExponentialMechanism(bad.eps, bad.sens); err == nil {
+			t.Errorf("NewExponentialMechanism(%v, %v) should fail", bad.eps, bad.sens)
+		}
+	}
+	if _, err := NewExponentialMechanism(1, 2); err != nil {
+		t.Errorf("valid mechanism rejected: %v", err)
+	}
+}
+
+func TestExponentialSelectValidation(t *testing.T) {
+	t.Parallel()
+	m, err := NewExponentialMechanism(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	if _, err := m.Select(nil, rng); err == nil {
+		t.Error("empty utilities should fail")
+	}
+	if _, err := m.Select([]float64{1, math.NaN()}, rng); err == nil {
+		t.Error("NaN utility should fail")
+	}
+	if _, err := m.Select([]float64{1, math.Inf(1)}, rng); err == nil {
+		t.Error("infinite utility should fail")
+	}
+}
+
+func TestExponentialSelectPrefersHighUtility(t *testing.T) {
+	t.Parallel()
+	m, err := NewExponentialMechanism(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	utilities := []float64{10, 0, 0, 0}
+	wins := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		idx, err := m.Select(utilities, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 {
+			wins++
+		}
+	}
+	// Softmax weight of candidate 0 is e^20/(e^20+3): essentially always.
+	if wins < trials*99/100 {
+		t.Errorf("dominant candidate selected only %d/%d times", wins, trials)
+	}
+}
+
+func TestExponentialSelectUniformAtZeroUtilityGap(t *testing.T) {
+	t.Parallel()
+	m, err := NewExponentialMechanism(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		idx, err := m.Select([]float64{7, 7, 7, 7}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.25) > 0.02 {
+			t.Errorf("candidate %d frequency %v, want ~0.25", i, got)
+		}
+	}
+}
+
+func TestExponentialSelectHugeUtilitiesNoOverflow(t *testing.T) {
+	t.Parallel()
+	// The Gumbel-max formulation must survive utilities that would
+	// overflow a naive softmax.
+	m, err := NewExponentialMechanism(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	idx, err := m.Select([]float64{1e15, 1e15 - 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 && idx != 1 {
+		t.Errorf("idx = %d", idx)
+	}
+}

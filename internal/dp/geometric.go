@@ -1,0 +1,91 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/stats"
+)
+
+// Geometric is the two-sided geometric distribution (discrete Laplace):
+// Pr[X = x] ∝ exp(−|x|/b) over the integers. Adding it to an integer
+// count with b = Δ/ε yields ε-DP releases that are themselves integers —
+// the natural mechanism for counting queries, and the discrete analogue
+// of the paper's Laplace mechanism.
+type Geometric struct {
+	// Scale is b > 0; the continuous-Laplace analogue of the same name.
+	Scale float64
+}
+
+// NewGeometric validates the scale.
+func NewGeometric(scale float64) (Geometric, error) {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Geometric{}, fmt.Errorf("dp: geometric scale %v must be positive and finite", scale)
+	}
+	return Geometric{Scale: scale}, nil
+}
+
+// alpha returns the distribution parameter α = exp(−1/b) ∈ (0, 1).
+func (g Geometric) alpha() float64 { return math.Exp(-1 / g.Scale) }
+
+// Sample draws one two-sided geometric variate: the difference of two
+// one-sided geometric variates with success probability 1−α, which has
+// exactly the discrete-Laplace law.
+func (g Geometric) Sample(rng *stats.RNG) int64 {
+	a := g.alpha()
+	return g.oneSided(rng, a) - g.oneSided(rng, a)
+}
+
+// oneSided draws G ≥ 0 with Pr[G = k] = (1−α)·α^k by inversion.
+func (g Geometric) oneSided(rng *stats.RNG, a float64) int64 {
+	u := rng.Float64()
+	if u == 0 {
+		return 0
+	}
+	// k = floor(ln(u)/ln(α)).
+	return int64(math.Floor(math.Log(u) / math.Log(a)))
+}
+
+// Variance returns 2α/(1−α)², the discrete-Laplace variance.
+func (g Geometric) Variance() float64 {
+	a := g.alpha()
+	return 2 * a / ((1 - a) * (1 - a))
+}
+
+// AbsCDF returns Pr[|X| ≤ t] for integer threshold t ≥ 0:
+// 1 − 2·α^{t+1}/(1+α).
+func (g Geometric) AbsCDF(t int64) float64 {
+	if t < 0 {
+		return 0
+	}
+	a := g.alpha()
+	return 1 - 2*math.Pow(a, float64(t+1))/(1+a)
+}
+
+// DiscreteMechanism releases integer counts under ε-DP via geometric
+// noise, the discrete analogue of Mechanism.
+type DiscreteMechanism struct {
+	Epsilon     float64
+	Sensitivity float64
+}
+
+// NewDiscreteMechanism validates the parameters.
+func NewDiscreteMechanism(epsilon, sensitivity float64) (DiscreteMechanism, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return DiscreteMechanism{}, fmt.Errorf("dp: epsilon %v must be positive and finite", epsilon)
+	}
+	if sensitivity <= 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return DiscreteMechanism{}, fmt.Errorf("dp: sensitivity %v must be positive and finite", sensitivity)
+	}
+	return DiscreteMechanism{Epsilon: epsilon, Sensitivity: sensitivity}, nil
+}
+
+// Noise returns the mechanism's noise distribution.
+func (m DiscreteMechanism) Noise() Geometric {
+	return Geometric{Scale: m.Sensitivity / m.Epsilon}
+}
+
+// Perturb releases one ε-DP integer count.
+func (m DiscreteMechanism) Perturb(count int64, rng *stats.RNG) int64 {
+	return count + m.Noise().Sample(rng)
+}

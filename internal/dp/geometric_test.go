@@ -1,0 +1,147 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"privrange/internal/stats"
+)
+
+func TestNewGeometricValidation(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewGeometric(bad); err == nil {
+			t.Errorf("NewGeometric(%v) should fail", bad)
+		}
+	}
+	if _, err := NewGeometric(3); err != nil {
+		t.Errorf("NewGeometric(3): %v", err)
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	t.Parallel()
+	g, err := NewGeometric(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(13)
+	var w stats.Running
+	for i := 0; i < 300000; i++ {
+		w.Add(float64(g.Sample(rng)))
+	}
+	if math.Abs(w.Mean()) > 0.05 {
+		t.Errorf("mean = %v, want ~0", w.Mean())
+	}
+	want := g.Variance()
+	if math.Abs(w.Variance()-want)/want > 0.05 {
+		t.Errorf("variance = %v, want ~%v", w.Variance(), want)
+	}
+}
+
+func TestGeometricAbsCDFMatchesEmpirical(t *testing.T) {
+	t.Parallel()
+	g, err := NewGeometric(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(17)
+	const n = 200000
+	thresholds := []int64{0, 1, 2, 5, 10}
+	counts := make([]int, len(thresholds))
+	for i := 0; i < n; i++ {
+		x := g.Sample(rng)
+		if x < 0 {
+			x = -x
+		}
+		for j, th := range thresholds {
+			if x <= th {
+				counts[j]++
+			}
+		}
+	}
+	for j, th := range thresholds {
+		got := float64(counts[j]) / n
+		want := g.AbsCDF(th)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Pr[|X| <= %d] = %v, want %v", th, got, want)
+		}
+	}
+	if g.AbsCDF(-1) != 0 {
+		t.Error("AbsCDF(-1) should be 0")
+	}
+}
+
+func TestGeometricApproachesLaplaceForLargeScale(t *testing.T) {
+	t.Parallel()
+	// For large b the discrete and continuous variances converge:
+	// 2α/(1−α)² → 2b² as b → ∞.
+	g := Geometric{Scale: 50}
+	l := Laplace{Scale: 50}
+	if rel := math.Abs(g.Variance()-l.Variance()) / l.Variance(); rel > 0.01 {
+		t.Errorf("discrete variance %v vs continuous %v (rel %v)", g.Variance(), l.Variance(), rel)
+	}
+}
+
+// TestDiscreteMechanismIndistinguishability checks the exact ε-DP ratio
+// bound on neighbouring integer counts. The geometric mechanism's output
+// probabilities are exactly proportional to α^{|x−count|}, so the ratio
+// bound is exp(ε·|Δcount|/Δ) = e^ε here.
+func TestDiscreteMechanismIndistinguishability(t *testing.T) {
+	t.Parallel()
+	const (
+		eps    = 0.4
+		trials = 400000
+	)
+	m, err := NewDiscreteMechanism(eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(23)
+	histA := map[int64]int{}
+	histB := map[int64]int{}
+	for i := 0; i < trials; i++ {
+		histA[m.Perturb(50, rng)]++
+		histB[m.Perturb(51, rng)]++
+	}
+	bound := math.Exp(eps)
+	for v, ca := range histA {
+		cb := histB[v]
+		if ca < 3000 || cb < 3000 {
+			continue
+		}
+		ratio := float64(ca) / float64(cb)
+		if ratio > bound*1.1 || 1/ratio > bound*1.1 {
+			t.Errorf("output %d: ratio %v exceeds e^eps %v", v, ratio, bound)
+		}
+	}
+}
+
+func TestDiscreteMechanismValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewDiscreteMechanism(0, 1); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	if _, err := NewDiscreteMechanism(1, -1); err == nil {
+		t.Error("negative sensitivity should fail")
+	}
+	m, err := NewDiscreteMechanism(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Noise().Scale; got != 4 {
+		t.Errorf("noise scale = %v, want 4", got)
+	}
+}
+
+func TestDiscreteOutputsAreIntegers(t *testing.T) {
+	t.Parallel()
+	m, err := NewDiscreteMechanism(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(29)
+	for i := 0; i < 100; i++ {
+		_ = m.Perturb(int64(i), rng) // compile-time int64: nothing to assert beyond type
+	}
+}

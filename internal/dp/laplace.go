@@ -1,0 +1,125 @@
+// Package dp implements the differential-privacy substrate the paper's
+// broker relies on: the Laplace mechanism (Dwork et al. 2006), the Laplace
+// distribution's CDF/quantile algebra the optimizer needs, privacy
+// amplification by sampling (Kasiviswanathan et al. 2011, the paper's
+// Lemma 3.4), and a sequential-composition budget accountant.
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/stats"
+)
+
+// Laplace describes a zero-centered Laplace distribution with scale b:
+// density (1/2b)·exp(−|x|/b).
+type Laplace struct {
+	Scale float64
+}
+
+// NewLaplace returns the distribution with the given scale. It returns an
+// error for a non-positive scale.
+func NewLaplace(scale float64) (Laplace, error) {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Laplace{}, fmt.Errorf("dp: laplace scale %v must be positive and finite", scale)
+	}
+	return Laplace{Scale: scale}, nil
+}
+
+// Sample draws one variate using rng.
+func (l Laplace) Sample(rng *stats.RNG) float64 {
+	return rng.Laplace(l.Scale)
+}
+
+// CDF returns Pr[X ≤ x].
+func (l Laplace) CDF(x float64) float64 {
+	if x < 0 {
+		return 0.5 * math.Exp(x/l.Scale)
+	}
+	return 1 - 0.5*math.Exp(-x/l.Scale)
+}
+
+// AbsCDF returns Pr[|X| ≤ t] = 1 − exp(−t/b) for t ≥ 0 (0 for t < 0).
+// This is the quantity the paper's optimization constrains:
+// Pr[|Lap(ε)| ≤ (α−α′)n] ≤ δ/δ′.
+func (l Laplace) AbsCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-t/l.Scale)
+}
+
+// AbsQuantile returns the t such that Pr[|X| ≤ t] = q, i.e.
+// t = −b·ln(1−q). It returns an error for q outside [0, 1).
+func (l Laplace) AbsQuantile(q float64) (float64, error) {
+	if q < 0 || q >= 1 {
+		return 0, fmt.Errorf("dp: quantile %v outside [0, 1)", q)
+	}
+	return -l.Scale * math.Log(1-q), nil
+}
+
+// Variance returns 2b².
+func (l Laplace) Variance() float64 { return 2 * l.Scale * l.Scale }
+
+// Mechanism is the Laplace mechanism for a numeric query with L1
+// sensitivity Δ and privacy budget ε: it releases value + Lap(Δ/ε).
+type Mechanism struct {
+	// Epsilon is the privacy budget ε > 0.
+	Epsilon float64
+	// Sensitivity is the query's L1 sensitivity Δ > 0. The paper uses the
+	// expected sensitivity E[Δγ̂] = 1/p of the RankCounting estimator.
+	Sensitivity float64
+}
+
+// NewMechanism validates the parameters. It returns an error for
+// non-positive ε or Δ.
+func NewMechanism(epsilon, sensitivity float64) (Mechanism, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return Mechanism{}, fmt.Errorf("dp: epsilon %v must be positive and finite", epsilon)
+	}
+	if sensitivity <= 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return Mechanism{}, fmt.Errorf("dp: sensitivity %v must be positive and finite", sensitivity)
+	}
+	return Mechanism{Epsilon: epsilon, Sensitivity: sensitivity}, nil
+}
+
+// Noise returns the mechanism's noise distribution Lap(Δ/ε).
+func (m Mechanism) Noise() Laplace {
+	return Laplace{Scale: m.Sensitivity / m.Epsilon}
+}
+
+// Perturb releases a single ε-differentially-private value.
+func (m Mechanism) Perturb(value float64, rng *stats.RNG) float64 {
+	return value + m.Noise().Sample(rng)
+}
+
+// AmplifyBySampling applies the paper's Lemma 3.4 (privacy amplification
+// by sampling): running an ε-DP mechanism on a Bernoulli(p) sample of the
+// data is ε′-DP with ε′ = ln(1 − p + p·e^ε). It returns an error when p
+// is outside [0, 1] or ε is negative.
+func AmplifyBySampling(epsilon, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("dp: sampling probability %v outside [0, 1]", p)
+	}
+	if epsilon < 0 {
+		return 0, fmt.Errorf("dp: negative epsilon %v", epsilon)
+	}
+	// math.Expm1/Log1p keep precision for small ε and small p, where the
+	// naive formula cancels badly.
+	return math.Log1p(p * math.Expm1(epsilon)), nil
+}
+
+// RequiredEpsilonForAmplified inverts Lemma 3.4: given a target effective
+// budget ε′ and sampling rate p, it returns the base-mechanism ε with
+// ln(1−p+p·e^ε) = ε′, i.e. ε = ln(1 + (e^{ε′}−1)/p). It returns an error
+// when p ∉ (0, 1] or ε′ < 0.
+func RequiredEpsilonForAmplified(epsilonPrime, p float64) (float64, error) {
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("dp: sampling probability %v outside (0, 1]", p)
+	}
+	if epsilonPrime < 0 {
+		return 0, fmt.Errorf("dp: negative epsilon' %v", epsilonPrime)
+	}
+	return math.Log1p(math.Expm1(epsilonPrime) / p), nil
+}

@@ -1,0 +1,92 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"privrange/internal/stats"
+)
+
+func TestNewSnappedMechanismValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewSnappedMechanism(0, 1, 100); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	if _, err := NewSnappedMechanism(1, 0, 100); err == nil {
+		t.Error("sensitivity=0 should fail")
+	}
+	if _, err := NewSnappedMechanism(1, 1, 0); err == nil {
+		t.Error("bound=0 should fail")
+	}
+	if _, err := NewSnappedMechanism(1, 1, math.Inf(1)); err == nil {
+		t.Error("infinite bound should fail")
+	}
+	m, err := NewSnappedMechanism(0.5, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lambda <= 0 {
+		t.Errorf("default lambda %v", m.Lambda)
+	}
+}
+
+func TestSnappedOutputsOnGridAndBounded(t *testing.T) {
+	t.Parallel()
+	m, err := NewSnappedMechanism(1, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		out := m.Perturb(450, rng)
+		if out > 500 || out < -500 {
+			t.Fatalf("output %v escapes the bound", out)
+		}
+		// On the grid (or exactly at the clamp boundary).
+		if out != 500 && out != -500 {
+			q := out / m.Lambda
+			if math.Abs(q-math.Round(q)) > 1e-6 {
+				t.Fatalf("output %v not on the %v grid", out, m.Lambda)
+			}
+		}
+	}
+}
+
+func TestSnappedPreservesUtility(t *testing.T) {
+	t.Parallel()
+	// The snap grid is ~2^-40 of the noise scale: the hardened release
+	// must be statistically indistinguishable in mean/variance from the
+	// plain mechanism.
+	m, err := NewSnappedMechanism(0.5, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	var w stats.Running
+	for i := 0; i < 100000; i++ {
+		w.Add(m.Perturb(1234, rng))
+	}
+	if math.Abs(w.Mean()-1234) > 0.1 {
+		t.Errorf("mean = %v, want ~1234", w.Mean())
+	}
+	wantVar := Laplace{Scale: 2}.Variance()
+	if math.Abs(w.Variance()-wantVar)/wantVar > 0.05 {
+		t.Errorf("variance = %v, want ~%v", w.Variance(), wantVar)
+	}
+}
+
+func TestSnappedClampsHostileInput(t *testing.T) {
+	t.Parallel()
+	m, err := NewSnappedMechanism(1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	// Inputs far outside the bound cannot push outputs past it.
+	for _, hostile := range []float64{1e18, -1e18, math.MaxFloat64} {
+		out := m.Perturb(hostile, rng)
+		if out > 100 || out < -100 {
+			t.Errorf("hostile input %v leaked through: %v", hostile, out)
+		}
+	}
+}

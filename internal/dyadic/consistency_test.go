@@ -1,0 +1,112 @@
+package dyadic
+
+import (
+	"math"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/stats"
+)
+
+func TestConsistentIsExactlyConsistent(t *testing.T) {
+	t.Parallel()
+	values := make([]float64, 2000)
+	rng := stats.NewRNG(1)
+	for i := range values {
+		values[i] = float64(rng.Intn(128))
+	}
+	tree, err := Build(values, 0, 128, 7, 0.5, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.IsConsistent(1e-9) {
+		t.Fatal("raw noisy tree should not be consistent (sanity)")
+	}
+	cons := tree.Consistent()
+	if !cons.IsConsistent(1e-6) {
+		t.Error("post-processed tree must be exactly consistent")
+	}
+	// The original must be untouched.
+	if tree.IsConsistent(1e-9) {
+		t.Error("Consistent must not mutate the receiver")
+	}
+	if cons.Epsilon() != tree.Epsilon() || cons.Leaves() != tree.Leaves() {
+		t.Error("metadata must carry over")
+	}
+}
+
+func TestConsistentPreservesExactTree(t *testing.T) {
+	t.Parallel()
+	// With negligible noise the tree is already (nearly) consistent;
+	// post-processing must not distort it.
+	values := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	tree, err := Build(values, 0, 8, 3, 1e9, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := tree.Consistent()
+	for _, q := range [][2]float64{{0, 7.999}, {2, 5.999}, {4, 4.5}} {
+		a, err := tree.Count(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cons.Count(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 0.01 {
+			t.Errorf("query %v: raw %v vs consistent %v", q, a, b)
+		}
+	}
+}
+
+func TestConsistencyReducesQueryError(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: 5, Records: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		eps    = 0.5
+		levels = 8
+		trials = 300
+	)
+	queries := [][2]float64{{30, 89.999}, {0, 149.999}, {60, 179.999}, {15, 44.999}}
+	truths := make([]float64, len(queries))
+	for i, q := range queries {
+		c, err := series.RangeCount(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths[i] = float64(c)
+	}
+	root := stats.NewRNG(7)
+	var raw, cons stats.Running
+	for trial := 0; trial < trials; trial++ {
+		tree, err := Build(series.Values, 0, 256, levels, eps, root.Child(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := tree.Consistent()
+		for i, q := range queries {
+			a, err := tree.Count(q[0], q[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := post.Count(q[0], q[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw.Add(math.Abs(a - truths[i]))
+			cons.Add(math.Abs(b - truths[i]))
+		}
+	}
+	if cons.Mean() >= raw.Mean() {
+		t.Errorf("constrained inference should reduce error: raw MAE %v, consistent MAE %v",
+			raw.Mean(), cons.Mean())
+	}
+	// Unbiasedness is preserved (projection is linear).
+	if improvement := 1 - cons.Mean()/raw.Mean(); improvement < 0.05 {
+		t.Errorf("improvement %.1f%% implausibly small", improvement*100)
+	}
+}

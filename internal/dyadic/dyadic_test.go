@@ -1,0 +1,259 @@
+package dyadic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privrange/internal/dataset"
+	"privrange/internal/stats"
+)
+
+func TestBuildValidation(t *testing.T) {
+	t.Parallel()
+	rng := stats.NewRNG(1)
+	values := []float64{1, 2, 3}
+	cases := []struct {
+		name   string
+		lo, hi float64
+		levels int
+		eps    float64
+		rngOK  bool
+	}{
+		{name: "empty domain", lo: 5, hi: 5, levels: 3, eps: 1, rngOK: true},
+		{name: "inverted domain", lo: 5, hi: 1, levels: 3, eps: 1, rngOK: true},
+		{name: "zero levels", lo: 0, hi: 10, levels: 0, eps: 1, rngOK: true},
+		{name: "too many levels", lo: 0, hi: 10, levels: MaxLevels + 1, eps: 1, rngOK: true},
+		{name: "zero epsilon", lo: 0, hi: 10, levels: 3, eps: 0, rngOK: true},
+		{name: "nan epsilon", lo: 0, hi: 10, levels: 3, eps: math.NaN(), rngOK: true},
+		{name: "nil rng", lo: 0, hi: 10, levels: 3, eps: 1, rngOK: false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			r := rng
+			if !tc.rngOK {
+				r = nil
+			}
+			if _, err := Build(values, tc.lo, tc.hi, tc.levels, tc.eps, r); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// exactTree builds with an enormous epsilon so noise is negligible,
+// letting structural tests compare against exact counts.
+func exactTree(t *testing.T, values []float64, lo, hi float64, levels int) *Tree {
+	t.Helper()
+	tree, err := Build(values, lo, hi, levels, 1e9, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestCountMatchesExactOnLeafAlignedRanges(t *testing.T) {
+	t.Parallel()
+	// Domain [0, 8) with 8 leaves of width 1; integer values land on
+	// leaf boundaries exactly.
+	values := []float64{0, 1, 1, 2, 3, 4, 5, 6, 7, 7, 7}
+	tree := exactTree(t, values, 0, 8, 3)
+	cases := []struct {
+		l, u float64
+		want float64
+	}{
+		{l: 0, u: 7.999, want: 11},
+		{l: 1, u: 1.999, want: 2},
+		{l: 7, u: 7.999, want: 3},
+		{l: 2, u: 5.999, want: 4},
+		{l: 0, u: 0.5, want: 1},
+	}
+	for _, tc := range cases {
+		got, err := tree.Count(tc.l, tc.u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("Count(%v, %v) = %v, want %v", tc.l, tc.u, got, tc.want)
+		}
+	}
+	if _, err := tree.Count(5, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestCountOutsideDomain(t *testing.T) {
+	t.Parallel()
+	tree := exactTree(t, []float64{1, 2, 3}, 0, 8, 3)
+	if got, err := tree.Count(100, 200); err != nil || got != 0 {
+		t.Errorf("out-of-domain query = %v, %v; want 0", got, err)
+	}
+	if got, err := tree.Count(-50, -10); err != nil || got != 0 {
+		t.Errorf("below-domain query = %v, %v; want 0", got, err)
+	}
+}
+
+func TestClippingKeepsTotal(t *testing.T) {
+	t.Parallel()
+	// Values outside the domain clip to the edge leaves.
+	values := []float64{-10, 3, 99}
+	tree := exactTree(t, values, 0, 8, 3)
+	got, err := tree.Count(0, 7.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 0.01 {
+		t.Errorf("total = %v, want 3 (clipped records retained)", got)
+	}
+}
+
+func TestCountAgainstOracleProperty(t *testing.T) {
+	t.Parallel()
+	values := make([]float64, 3000)
+	rng := stats.NewRNG(7)
+	for i := range values {
+		values[i] = float64(rng.Intn(256))
+	}
+	tree, err := Build(values, 0, 256, 8, 1e9, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := tree.LeafWidth()
+	f := func(loLeafRaw, spanRaw uint16) bool {
+		loLeaf := int(loLeafRaw) % 256
+		hiLeaf := loLeaf + int(spanRaw)%(256-loLeaf)
+		l := float64(loLeaf) * width
+		u := float64(hiLeaf+1)*width - 1e-9
+		exact := 0.0
+		for _, v := range values {
+			if v >= l && v <= u {
+				exact++
+			}
+		}
+		got, err := tree.Count(l, u)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-exact) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseRespectsVarianceBound(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 9, Records: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		eps    = 1.0
+		levels = 8
+		trials = 400
+	)
+	exact := func(l, u float64) float64 {
+		c, err := series.RangeCount(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(c)
+	}
+	root := stats.NewRNG(11)
+	var errs stats.Running
+	var bound float64
+	for trial := 0; trial < trials; trial++ {
+		tree, err := Build(series.Values, 0, 256, levels, eps, root.Child(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound = tree.QueryVarianceBound()
+		// Leaf-aligned query so snap error vanishes and only noise
+		// remains.
+		got, err := tree.Count(64, 127.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs.Add(got - exact(64, 127.999))
+	}
+	if se := errs.StdErr(); math.Abs(errs.Mean()) > 4*se {
+		t.Errorf("dyadic count biased: mean error %v (4 SE %v)", errs.Mean(), 4*se)
+	}
+	if errs.Variance() > bound {
+		t.Errorf("empirical variance %v above bound %v", errs.Variance(), bound)
+	}
+}
+
+func TestUnlimitedQueriesSingleBudget(t *testing.T) {
+	t.Parallel()
+	// The structural advantage: one release, any number of queries, no
+	// further budget. (Contrast: the sampling pipeline spends per query.)
+	values := []float64{1, 2, 3, 4, 5}
+	tree, err := Build(values, 0, 8, 3, 2.0, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Epsilon() != 2.0 {
+		t.Errorf("Epsilon = %v", tree.Epsilon())
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := tree.Count(float64(i%8), float64(i%8)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same tree, same queries: deterministic answers (noise is baked in
+	// at build time, not per query — that is what makes it ε-DP overall).
+	a, err := tree.Count(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tree.Count(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated queries must return identical answers")
+	}
+}
+
+func TestDeeperTreesCostMoreNoise(t *testing.T) {
+	t.Parallel()
+	shallow, err := Build(nil, 0, 256, 4, 1, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Build(nil, 0, 256, 12, 1, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.QueryVarianceBound() <= shallow.QueryVarianceBound() {
+		t.Errorf("deeper tree should have larger variance bound: %v vs %v",
+			deep.QueryVarianceBound(), shallow.QueryVarianceBound())
+	}
+	if shallow.Leaves() != 16 || deep.Leaves() != 4096 {
+		t.Errorf("leaves = %d, %d", shallow.Leaves(), deep.Leaves())
+	}
+}
+
+// TestClosedEndpointOnBoundary is a regression test: a closed query
+// [l, u] whose u lands exactly on a leaf boundary must include the
+// records at u (the cover snaps outward, never inward).
+func TestClosedEndpointOnBoundary(t *testing.T) {
+	t.Parallel()
+	// Leaf width 1 over [0, 8); hundreds of records exactly at value 4.
+	values := make([]float64, 0, 300)
+	for i := 0; i < 300; i++ {
+		values = append(values, 4)
+	}
+	values = append(values, 1, 2, 3)
+	tree := exactTree(t, values, 0, 8, 3)
+	got, err := tree.Count(0, 4) // u = 4 is exactly a leaf boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 302 {
+		t.Errorf("Count(0,4) = %v, must include the 300 records at value 4", got)
+	}
+}

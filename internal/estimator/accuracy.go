@@ -1,0 +1,85 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accuracy is an (α, δ) accuracy specification (Definition 2.2): the
+// estimate must fall within ±α·|D| of the truth with probability at least
+// δ.
+type Accuracy struct {
+	Alpha float64
+	Delta float64
+}
+
+// Validate reports whether the specification is well-formed. The paper
+// restricts both parameters to [0, 1]; the degenerate endpoints (α=0
+// demands exactness, δ=1 demands certainty) are rejected for the open
+// ranges the theorems require.
+func (a Accuracy) Validate() error {
+	if !(a.Alpha > 0 && a.Alpha < 1) {
+		return fmt.Errorf("estimator: alpha %v outside (0, 1)", a.Alpha)
+	}
+	if !(a.Delta > 0 && a.Delta < 1) {
+		return fmt.Errorf("estimator: delta %v outside (0, 1)", a.Delta)
+	}
+	return nil
+}
+
+// RequiredProbability returns the sampling probability Theorem 3.3
+// prescribes so RankCounting meets (α, δ):
+//
+//	p ≥ √(2k)/(αn) · 2/√(1−δ)
+//
+// The result is clamped to 1 (sampling everything always suffices). It
+// returns an error for invalid accuracy, k < 1 or n < 1.
+func RequiredProbability(acc Accuracy, k, n int) (float64, error) {
+	if err := acc.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("estimator: node count %d < 1", k)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("estimator: dataset size %d < 1", n)
+	}
+	p := math.Sqrt(2*float64(k)) / (acc.Alpha * float64(n)) * 2 / math.Sqrt(1-acc.Delta)
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// AchievableDelta inverts Theorem 3.3: for samples already collected at
+// probability p, it returns the largest confidence δ′ such that the
+// existing sample answers (α′, δ′)-range counting. From Chebyshev:
+//
+//	δ′ = 1 − (8k/p²)/(α′n)²
+//
+// The result can be negative when p is too small for the requested α′ at
+// all — callers must treat a non-positive δ′ as infeasible. It returns an
+// error for p ∉ (0, 1], α′ ∉ (0, 1), k < 1 or n < 1.
+func AchievableDelta(p, alphaPrime float64, k, n int) (float64, error) {
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("estimator: sampling probability %v outside (0, 1]", p)
+	}
+	if !(alphaPrime > 0 && alphaPrime < 1) {
+		return 0, fmt.Errorf("estimator: alpha' %v outside (0, 1)", alphaPrime)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("estimator: node count %d < 1", k)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("estimator: dataset size %d < 1", n)
+	}
+	varBound := 8 * float64(k) / (p * p)
+	t := alphaPrime * float64(n)
+	return 1 - varBound/(t*t), nil
+}
+
+// ExpectedSamples returns the expected communication volume |D|·p of a
+// Bernoulli sample, the quantity the paper's cost argument is about.
+func ExpectedSamples(n int, p float64) float64 {
+	return float64(n) * p
+}

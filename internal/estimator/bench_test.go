@@ -1,0 +1,66 @@
+package estimator
+
+import (
+	"sort"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// benchSets prepares per-node sample sets once for the hot-path benches.
+func benchSets(b *testing.B, k int, p float64) []*sampling.SampleSet {
+	b.Helper()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := series.Partition(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := stats.NewRNG(2)
+	sets := make([]*sampling.SampleSet, k)
+	for i, part := range parts {
+		cp := make([]float64, len(part))
+		copy(cp, part)
+		sort.Float64s(cp)
+		set, err := sampling.Draw(cp, p, root.Child(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// BenchmarkRankCountingEstimate measures one global estimate over the
+// CityPulse-scale deployment (k=16, p=0.3) — the broker's inner loop.
+func BenchmarkRankCountingEstimate(b *testing.B) {
+	sets := benchSets(b, 16, 0.3)
+	rc := RankCounting{P: 0.3}
+	q := Query{L: 40, U: 120}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Estimate(sets, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBasicCountingEstimate is the baseline estimator's cost on the
+// same sets.
+func BenchmarkBasicCountingEstimate(b *testing.B) {
+	sets := benchSets(b, 16, 0.3)
+	bc := BasicCounting{P: 0.3}
+	q := Query{L: 40, U: 120}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.Estimate(sets, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+func drawSets(t *testing.T, series *dataset.Series, k int, p float64, seed int64) []*sampling.SampleSet {
+	t.Helper()
+	parts, err := series.Partition(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := stats.NewRNG(seed)
+	sets := make([]*sampling.SampleSet, k)
+	for i, part := range parts {
+		cp := make([]float64, len(part))
+		copy(cp, part)
+		sort.Float64s(cp)
+		set, err := sampling.Draw(cp, p, root.Child(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// trueBandCounts computes the exact histogram (last band closed).
+func trueBandCounts(series *dataset.Series, boundaries []float64) []float64 {
+	counts := make([]float64, len(boundaries)-1)
+	last := len(counts) - 1
+	for _, v := range series.Values {
+		for i := 0; i < len(counts); i++ {
+			hi := boundaries[i+1]
+			inside := v >= boundaries[i] && (v < hi || (i == last && v == hi))
+			if inside {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+var aqiBands = []float64{0, 50, 100, 150, 300}
+
+func TestBuilderValidation(t *testing.T) {
+	t.Parallel()
+	sets := []*sampling.SampleSet{{N: 10}}
+	cases := []struct {
+		name       string
+		b          Builder
+		sets       []*sampling.SampleSet
+		boundaries []float64
+	}{
+		{name: "p zero", b: Builder{P: 0}, sets: sets, boundaries: aqiBands},
+		{name: "p big", b: Builder{P: 2}, sets: sets, boundaries: aqiBands},
+		{name: "no sets", b: Builder{P: 0.5}, sets: nil, boundaries: aqiBands},
+		{name: "nil set", b: Builder{P: 0.5}, sets: []*sampling.SampleSet{nil}, boundaries: aqiBands},
+		{name: "one boundary", b: Builder{P: 0.5}, sets: sets, boundaries: []float64{1}},
+		{name: "unsorted", b: Builder{P: 0.5}, sets: sets, boundaries: []float64{5, 1}},
+		{name: "duplicate", b: Builder{P: 0.5}, sets: sets, boundaries: []float64{1, 1, 2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := tc.b.Estimate(tc.sets, tc.boundaries); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestEstimateExactAtFullSampling(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 1, Records: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := drawSets(t, series, 5, 1, 3)
+	h, err := Builder{P: 1}.Estimate(sets, aqiBands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueBandCounts(series, aqiBands)
+	for i, c := range h.Counts {
+		if math.Abs(c-want[i]) > 1e-9 {
+			t.Errorf("band %d = %v, want %v", i, c, want[i])
+		}
+	}
+	if math.Abs(h.Total()-float64(series.Len())) > 1e-9 {
+		t.Errorf("total = %v, want %d", h.Total(), series.Len())
+	}
+}
+
+func TestEstimateUnbiased(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: 5, Records: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueBandCounts(series, aqiBands)
+	const (
+		p      = 0.08
+		trials = 1500
+		k      = 5
+	)
+	b := Builder{P: p}
+	sums := make([]stats.Running, len(aqiBands)-1)
+	for trial := 0; trial < trials; trial++ {
+		sets := drawSets(t, series, k, p, int64(1000+trial))
+		h, err := b.Estimate(sets, aqiBands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range h.Counts {
+			sums[i].Add(c - want[i])
+		}
+	}
+	for i := range sums {
+		if se := sums[i].StdErr(); math.Abs(sums[i].Mean()) > 5*se+1e-9 {
+			t.Errorf("band %d biased: mean error %v (5 SE = %v)", i, sums[i].Mean(), 5*se)
+		}
+	}
+}
+
+func TestPrivateHistogramNoise(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.CarbonMonoxide, dataset.GenerateConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 0.3
+	sets := drawSets(t, series, 8, p, 9)
+	b := Builder{P: p}
+	rng := stats.NewRNG(11)
+	h, err := b.Private(sets, aqiBands, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueBandCounts(series, aqiBands)
+	for i, c := range h.Counts {
+		// Sampling sd ~ √k/p plus Lap((1/p)/1): generous 6-sigma bound.
+		if math.Abs(c-want[i]) > 500 {
+			t.Errorf("band %d = %v, want ~%v", i, c, want[i])
+		}
+	}
+	eff, err := b.EffectiveEpsilon(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0 || eff >= 1.0 {
+		t.Errorf("amplified epsilon %v should be in (0, 1)", eff)
+	}
+}
+
+func TestPrivateDiscreteIsInteger(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.SulfurDioxide, dataset.GenerateConfig{Seed: 13, Records: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := drawSets(t, series, 5, 0.4, 15)
+	h, err := Builder{P: 0.4}.PrivateDiscrete(sets, aqiBands, 0.5, stats.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range h.Counts {
+		if c != math.Trunc(c) {
+			t.Errorf("band %d count %v not integer", i, c)
+		}
+	}
+	if _, err := (Builder{P: 0.4}).PrivateDiscrete(sets, aqiBands, 0, stats.NewRNG(1)); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	if _, err := (Builder{P: 0.4}).Private(sets, aqiBands, -1, stats.NewRNG(1)); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{Boundaries: []float64{0, 1, 2, 3}, Counts: []float64{-5, 30, 20}}
+	if err := h.Normalize(100); err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 0 {
+		t.Errorf("negative count should clamp to 0, got %v", h.Counts[0])
+	}
+	if math.Abs(h.Total()-100) > 1e-9 {
+		t.Errorf("total = %v, want 100", h.Total())
+	}
+	// Proportions preserved among the positive bands.
+	if math.Abs(h.Counts[1]/h.Counts[2]-1.5) > 1e-9 {
+		t.Errorf("ratio distorted: %v", h.Counts)
+	}
+	if err := h.Normalize(0); err == nil {
+		t.Error("total=0 should fail")
+	}
+	zero := &Histogram{Boundaries: []float64{0, 1}, Counts: []float64{-3}}
+	if err := zero.Normalize(10); err == nil {
+		t.Error("all-zero should fail")
+	}
+	if h.Buckets() != 3 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+}
+
+func TestParallelBeatsSequentialComposition(t *testing.T) {
+	t.Parallel()
+	// The point of the histogram release: B bands cost ε total under
+	// parallel composition, vs B·ε under sequential range queries. At
+	// equal total budget, the per-band noise of the parallel release is
+	// B times smaller in scale.
+	series, err := dataset.GenerateSeries(dataset.NitrogenDioxide, dataset.GenerateConfig{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		p        = 0.3
+		totalEps = 0.5
+		trials   = 300
+	)
+	bands := aqiBands
+	numBands := len(bands) - 1
+	sets := drawSets(t, series, 8, p, 21)
+	b := Builder{P: p}
+	base, err := b.Estimate(sets, bands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(23)
+	var parallelErr, sequentialErr stats.Running
+	for trial := 0; trial < trials; trial++ {
+		hp, err := b.Private(sets, bands, totalEps, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sequential: each band answered as its own query with ε/B.
+		hs, err := b.Private(sets, bands, totalEps/float64(numBands), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Counts {
+			parallelErr.Add(math.Abs(hp.Counts[i] - base.Counts[i]))
+			sequentialErr.Add(math.Abs(hs.Counts[i] - base.Counts[i]))
+		}
+	}
+	if sequentialErr.Mean() < 2*parallelErr.Mean() {
+		t.Errorf("parallel composition should be far more accurate: parallel %v vs sequential %v",
+			parallelErr.Mean(), sequentialErr.Mean())
+	}
+}

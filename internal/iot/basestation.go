@@ -1,0 +1,124 @@
+package iot
+
+import (
+	"fmt"
+	"sort"
+
+	"privrange/internal/sampling"
+	"privrange/internal/wire"
+)
+
+// BaseStation aggregates sample reports from all nodes and exposes the
+// merged per-node sample sets the broker's estimator consumes.
+type BaseStation struct {
+	sets map[int]*sampling.SampleSet
+	seen map[int]bool
+}
+
+// NewBaseStation returns an empty base station.
+func NewBaseStation() *BaseStation {
+	return &BaseStation{
+		sets: make(map[int]*sampling.SampleSet),
+		seen: make(map[int]bool),
+	}
+}
+
+// HandleReport folds one sample report into the per-node state: Replace
+// reports overwrite, incremental reports merge by rank.
+func (b *BaseStation) HandleReport(rep *wire.SampleReport) error {
+	if rep == nil {
+		return fmt.Errorf("iot: nil sample report")
+	}
+	b.seen[rep.NodeID] = true
+	existing, ok := b.sets[rep.NodeID]
+	if rep.Replace || !ok {
+		cp := make([]sampling.Sample, len(rep.Samples))
+		copy(cp, rep.Samples)
+		set := &sampling.SampleSet{N: rep.N, Samples: cp}
+		if err := set.Validate(); err != nil {
+			return fmt.Errorf("iot: node %d replace report: %w", rep.NodeID, err)
+		}
+		b.sets[rep.NodeID] = set
+		return nil
+	}
+	if existing.N != rep.N {
+		return fmt.Errorf("iot: node %d incremental report with n=%d over stored n=%d (node must replace)",
+			rep.NodeID, rep.N, existing.N)
+	}
+	merged := mergeByRank(existing.Samples, rep.Samples)
+	set := &sampling.SampleSet{N: rep.N, Samples: merged}
+	if err := set.Validate(); err != nil {
+		return fmt.Errorf("iot: node %d merged report: %w", rep.NodeID, err)
+	}
+	b.sets[rep.NodeID] = set
+	return nil
+}
+
+// mergeByRank merges two rank-sorted sample slices, rejecting nothing:
+// duplicates cannot occur because nodes never reship a rank within a
+// generation, and Validate catches it if they do.
+func mergeByRank(a, ext []sampling.Sample) []sampling.Sample {
+	out := make([]sampling.Sample, 0, len(a)+len(ext))
+	i, j := 0, 0
+	for i < len(a) && j < len(ext) {
+		if a[i].Rank <= ext[j].Rank {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, ext[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, ext[j:]...)
+	return out
+}
+
+// HandleHeartbeat records node liveness (and dataset size updates).
+func (b *BaseStation) HandleHeartbeat(hb *wire.Heartbeat) error {
+	if hb == nil {
+		return fmt.Errorf("iot: nil heartbeat")
+	}
+	b.seen[hb.NodeID] = true
+	if len(hb.Piggyback) > 0 {
+		return b.HandleReport(&wire.SampleReport{NodeID: hb.NodeID, N: hb.N, Samples: hb.Piggyback})
+	}
+	return nil
+}
+
+// SampleSets returns the stored sets ordered by node id. The slice is
+// freshly allocated; the sets are shared (callers must not mutate them).
+func (b *BaseStation) SampleSets() []*sampling.SampleSet {
+	ids := make([]int, 0, len(b.sets))
+	for id := range b.sets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*sampling.SampleSet, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, b.sets[id])
+	}
+	return out
+}
+
+// TotalN returns Σ n_i over all reporting nodes — the |D| the accuracy
+// guarantees are relative to.
+func (b *BaseStation) TotalN() int {
+	total := 0
+	for _, set := range b.sets {
+		total += set.N
+	}
+	return total
+}
+
+// Nodes returns how many distinct nodes have reported.
+func (b *BaseStation) Nodes() int { return len(b.sets) }
+
+// SampleCount returns the total number of stored samples across nodes.
+func (b *BaseStation) SampleCount() int {
+	total := 0
+	for _, set := range b.sets {
+		total += len(set.Samples)
+	}
+	return total
+}

@@ -1,0 +1,44 @@
+package iot_test
+
+import (
+	"fmt"
+	"log"
+
+	"privrange/internal/dataset"
+	"privrange/internal/iot"
+)
+
+// Example drives the sampling protocol: initial collection, a top-up
+// that ships only the new samples, and the communication bill.
+func Example() {
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 1, Records: 8000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := series.Partition(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := iot.New(parts, iot.Config{Seed: 2, FreeHeartbeatSamples: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.EnsureRate(0.1); err != nil {
+		log.Fatal(err)
+	}
+	after10 := nw.Cost().SamplesShipped
+	if err := nw.EnsureRate(0.3); err != nil {
+		log.Fatal(err)
+	}
+	after30 := nw.Cost().SamplesShipped
+	fmt.Println("rate:", nw.Rate())
+	// The top-up ships only the difference: total ≈ 0.3·n, not 0.4·n.
+	fmt.Println("no reshipping:", float64(after30) < 0.35*float64(nw.TotalN()))
+	fmt.Println("second round shipped more:", after30 > after10)
+	fmt.Println("messages billed:", nw.Cost().Messages > 0 && nw.Cost().Bytes > 0)
+	// Output:
+	// rate: 0.3
+	// no reshipping: true
+	// second round shipped more: true
+	// messages billed: true
+}

@@ -1,0 +1,410 @@
+package iot
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+	"privrange/internal/wire"
+)
+
+// Topology selects how node traffic reaches the base station.
+type Topology int
+
+const (
+	// Flat is the paper's primary model: every node talks to the base
+	// station directly (one hop).
+	Flat Topology = iota
+	// Tree arranges nodes in a balanced aggregation tree; each message is
+	// relayed hop by hop toward the base station and its bytes are paid
+	// once per hop. The paper notes flat-model algorithms "can be easily
+	// extended to a general tree model" — this is that extension.
+	Tree
+)
+
+// DefaultFreeHeartbeatSamples mirrors the paper's observation that ~16
+// samples per node fit in an ordinary heartbeat message, incurring no
+// additional communication cost.
+const DefaultFreeHeartbeatSamples = 16
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Seed drives all node-side randomness deterministically.
+	Seed int64
+	// Topology selects Flat (default) or Tree routing.
+	Topology Topology
+	// TreeFanout is the branching factor of the Tree topology. Zero
+	// selects 4. Ignored for Flat.
+	TreeFanout int
+	// FreeHeartbeatSamples is the per-report sample count that piggybacks
+	// on heartbeats for free. Negative disables the discount; zero
+	// selects DefaultFreeHeartbeatSamples.
+	FreeHeartbeatSamples int
+	// LossRate is the probability that one transmission attempt is
+	// dropped (per end-to-end message, applied per attempt). Lost
+	// messages are retransmitted up to MaxRetries times; every attempt
+	// is billed. Zero models a lossless link.
+	LossRate float64
+	// MaxRetries bounds retransmission attempts per message. Zero
+	// selects 5; negative is invalid.
+	MaxRetries int
+}
+
+// CostReport is the running communication bill.
+type CostReport struct {
+	// Messages counts end-to-end protocol messages (not per-hop copies).
+	Messages int
+	// Bytes is the total on-the-wire volume, counted once per hop
+	// traversed.
+	Bytes int64
+	// SamplesShipped counts rank-annotated samples transferred
+	// end-to-end.
+	SamplesShipped int
+	// PiggybackedReports counts reports small enough to ride heartbeats
+	// for free.
+	PiggybackedReports int
+	// Retransmissions counts extra attempts caused by simulated packet
+	// loss. Their bytes are included in Bytes.
+	Retransmissions int
+}
+
+// Network wires k nodes to a base station under a topology and accounts
+// for every byte exchanged.
+type Network struct {
+	cfg   Config
+	nodes []*Node
+	base  *BaseStation
+	cost  CostReport
+	// nodeRate tracks the Bernoulli rate each node's base-station sample
+	// was collected at; the network-wide guaranteed rate is the minimum.
+	nodeRate map[int]float64
+	rng      *stats.RNG // drives simulated packet loss
+	// dirty marks nodes that ingested new readings since their last
+	// acknowledged report; EnsureRate must revisit them even when the
+	// target rate is already met.
+	dirty map[int]bool
+	// down marks unreachable nodes: EnsureRate skips them (their stale
+	// samples at the base station keep serving queries) and revisits
+	// them on recovery.
+	down map[int]bool
+}
+
+// New builds a network whose node i holds parts[i]. It returns an error
+// for an empty partition list or invalid config.
+func New(parts [][]float64, cfg Config) (*Network, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("iot: need at least one node partition")
+	}
+	if cfg.Topology != Flat && cfg.Topology != Tree {
+		return nil, fmt.Errorf("iot: unknown topology %d", cfg.Topology)
+	}
+	if cfg.TreeFanout < 0 {
+		return nil, fmt.Errorf("iot: negative tree fanout %d", cfg.TreeFanout)
+	}
+	if cfg.TreeFanout == 0 {
+		cfg.TreeFanout = 4
+	}
+	if cfg.FreeHeartbeatSamples == 0 {
+		cfg.FreeHeartbeatSamples = DefaultFreeHeartbeatSamples
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("iot: loss rate %v outside [0, 1)", cfg.LossRate)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("iot: negative max retries %d", cfg.MaxRetries)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	nw := &Network{
+		cfg:      cfg,
+		base:     NewBaseStation(),
+		rng:      stats.NewRNG(cfg.Seed ^ 0x10c5),
+		dirty:    make(map[int]bool),
+		down:     make(map[int]bool),
+		nodeRate: make(map[int]float64),
+	}
+	for i, part := range parts {
+		node := NewNode(i, cfg.Seed+int64(i)*7919)
+		node.Load(part)
+		nw.nodes = append(nw.nodes, node)
+	}
+	return nw, nil
+}
+
+// NumNodes returns k.
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+// TotalN returns |D| = Σ n_i.
+func (nw *Network) TotalN() int {
+	total := 0
+	for _, n := range nw.nodes {
+		total += n.Len()
+	}
+	return total
+}
+
+// Rate returns the sampling rate the base station's *entire* state
+// guarantees: the minimum rate any node's stored sample was collected at
+// (0 before the first full collection). With nodes down and skipped, the
+// guarantee degrades to the stale nodes' rate rather than silently
+// overstating accuracy.
+func (nw *Network) Rate() float64 {
+	if len(nw.nodeRate) < len(nw.nodes) {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, r := range nw.nodeRate {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// maxRate returns the highest rate any node has been collected at — the
+// target that recovering or dirty nodes must be caught up to.
+func (nw *Network) maxRate() float64 {
+	max := 0.0
+	for _, r := range nw.nodeRate {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// hops returns how many links a message between node id and the base
+// station traverses under the configured topology.
+func (nw *Network) hops(id int) int {
+	if nw.cfg.Topology == Flat {
+		return 1
+	}
+	// Balanced tree: node 0..fanout-1 are children of the base station;
+	// node i's parent is i/fanout - 1 (for i >= fanout).
+	f := nw.cfg.TreeFanout
+	hops := 1
+	for i := id; i >= f; i = i/f - 1 {
+		hops++
+	}
+	return hops
+}
+
+// transmit codecs a message end to end and bills it: hop-weighted bytes
+// plus message and sample counters. Reports small enough to piggyback on
+// heartbeats are free of byte cost, matching the paper's argument. With
+// a lossy link each attempt may drop; attempts are retried (and billed)
+// up to the configured bound.
+func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
+	data, err := wire.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	decoded, consumed, err := wire.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("iot: transport corruption: %w", err)
+	}
+	if consumed != len(data) {
+		return nil, fmt.Errorf("iot: trailing bytes after decode (%d of %d)", consumed, len(data))
+	}
+	nw.cost.Messages++
+	free := false
+	if rep, ok := decoded.(*wire.SampleReport); ok {
+		nw.cost.SamplesShipped += len(rep.Samples)
+		if nw.cfg.FreeHeartbeatSamples > 0 && len(rep.Samples) <= nw.cfg.FreeHeartbeatSamples {
+			free = true
+			nw.cost.PiggybackedReports++
+		}
+	}
+	attempts := 1
+	for nw.cfg.LossRate > 0 && nw.rng.Bernoulli(nw.cfg.LossRate) {
+		if attempts > nw.cfg.MaxRetries {
+			// Bill the failed attempts before giving up.
+			if !free {
+				nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts-1)
+			}
+			nw.cost.Retransmissions += attempts - 1
+			return nil, fmt.Errorf("iot: message to/from node %d lost after %d attempts", id, attempts)
+		}
+		attempts++
+	}
+	nw.cost.Retransmissions += attempts - 1
+	if !free {
+		nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
+	}
+	return decoded, nil
+}
+
+// EnsureRate drives the sampling protocol until the base station holds a
+// Bernoulli(p) sample from every node: it multicasts Resample commands
+// and folds the resulting reports in. Raising the rate tops existing
+// samples up (only the new samples travel); lowering it is a no-op —
+// the richer sample already satisfies any weaker requirement.
+func (nw *Network) EnsureRate(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("iot: rate %v outside [0, 1]", p)
+	}
+	effective := math.Max(p, nw.maxRate())
+	for _, node := range nw.nodes {
+		id := node.ID()
+		if nw.down[id] {
+			continue // unreachable: stale samples keep serving
+		}
+		if nw.nodeRate[id] >= effective && !nw.dirty[id] {
+			continue // already caught up, nothing new to report
+		}
+		cmd := &wire.Resample{NodeID: id, Rate: effective}
+		decodedCmd, err := nw.transmit(id, cmd)
+		if err != nil {
+			return err
+		}
+		report, err := node.HandleResample(decodedCmd.(*wire.Resample))
+		if err != nil {
+			return err
+		}
+		decodedRep, err := nw.transmit(id, report)
+		if err != nil {
+			return err
+		}
+		if err := nw.base.HandleReport(decodedRep.(*wire.SampleReport)); err != nil {
+			return err
+		}
+		node.AckReport()
+		delete(nw.dirty, id)
+		nw.nodeRate[id] = effective
+	}
+	return nil
+}
+
+// AddNode joins a new sensor node carrying the given initial readings
+// (dynamic membership). The node is collected on the next EnsureRate at
+// whatever rate the deployment runs; until then the network-wide rate
+// guarantee reports 0 because the base station lacks its sample.
+func (nw *Network) AddNode(values []float64) (int, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("iot: a joining node needs initial readings")
+	}
+	id := len(nw.nodes)
+	node := NewNode(id, nw.cfg.Seed+int64(id)*7919)
+	node.Load(values)
+	nw.nodes = append(nw.nodes, node)
+	nw.dirty[id] = true
+	return id, nil
+}
+
+// SetDown changes a node's reachability. Taking a node down makes
+// EnsureRate skip it — queries keep being served from its last reported
+// (possibly stale) samples, the standard availability/freshness trade.
+// Bringing it back marks it dirty so the next collection round refreshes
+// it, catching up on anything it sensed while partitioned.
+func (nw *Network) SetDown(nodeID int, down bool) error {
+	if nodeID < 0 || nodeID >= len(nw.nodes) {
+		return fmt.Errorf("iot: no node %d", nodeID)
+	}
+	if nw.down[nodeID] == down {
+		return nil
+	}
+	if down {
+		nw.down[nodeID] = true
+		return nil
+	}
+	delete(nw.down, nodeID)
+	nw.dirty[nodeID] = true
+	return nil
+}
+
+// LiveNodes returns the number of reachable nodes.
+func (nw *Network) LiveNodes() int {
+	return len(nw.nodes) - len(nw.down)
+}
+
+// Coverage returns the fraction of records held by reachable nodes —
+// the freshness guarantee the base station can currently offer.
+func (nw *Network) Coverage() float64 {
+	total, live := 0, 0
+	for _, node := range nw.nodes {
+		total += node.Len()
+		if !nw.down[node.ID()] {
+			live += node.Len()
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(live) / float64(total)
+}
+
+// Ingest appends new readings at a node (continuous data collection).
+// The node's existing sample becomes stale; the next EnsureRate — at any
+// rate — refreshes it, and queries in between still see a consistent
+// (pre-ingest) snapshot at the base station.
+func (nw *Network) Ingest(nodeID int, values []float64) error {
+	if nodeID < 0 || nodeID >= len(nw.nodes) {
+		return fmt.Errorf("iot: no node %d", nodeID)
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	nw.nodes[nodeID].Load(values)
+	nw.dirty[nodeID] = true
+	return nil
+}
+
+// IngestRound appends one round of readings across all nodes and
+// refreshes the base station's samples at the current rate — the
+// long-term continuous-collection loop the paper's related work targets.
+// perNode[i] goes to node i; len(perNode) must equal NumNodes.
+func (nw *Network) IngestRound(perNode [][]float64) error {
+	if len(perNode) != len(nw.nodes) {
+		return fmt.Errorf("iot: round has %d node batches, network has %d nodes", len(perNode), len(nw.nodes))
+	}
+	for id, values := range perNode {
+		if err := nw.Ingest(id, values); err != nil {
+			return err
+		}
+	}
+	return nw.EnsureRate(nw.Rate())
+}
+
+// HeartbeatRound delivers one liveness heartbeat from every node,
+// billing ordinary baseline traffic.
+func (nw *Network) HeartbeatRound() error {
+	for _, node := range nw.nodes {
+		decoded, err := nw.transmit(node.ID(), node.Heartbeat())
+		if err != nil {
+			return err
+		}
+		if err := nw.base.HandleHeartbeat(decoded.(*wire.Heartbeat)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SampleSets returns the base station's per-node sample sets, ordered by
+// node id.
+func (nw *Network) SampleSets() []*sampling.SampleSet {
+	return nw.base.SampleSets()
+}
+
+// Cost returns the communication bill so far.
+func (nw *Network) Cost() CostReport { return nw.cost }
+
+// Base exposes the base station for integration with the broker layer.
+func (nw *Network) Base() *BaseStation { return nw.base }
+
+// ExactCount returns the true global range count by asking every node —
+// the expensive path the paper's sampling avoids; used as experiment
+// ground truth (and not billed).
+func (nw *Network) ExactCount(l, u float64) (int, error) {
+	total := 0
+	for _, node := range nw.nodes {
+		c, err := node.CountRange(l, u)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}

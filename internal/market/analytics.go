@@ -1,0 +1,94 @@
+package market
+
+import (
+	"sort"
+)
+
+// AveragingSuspicion reports one suspicious purchase pattern: a customer
+// buying the *same* query at the *same* (cheap) accuracy many times —
+// the observable footprint of the Example 4.1 averaging attack. Against
+// an audited tariff the attack cannot profit, but a broker still wants
+// to see who is probing for one (for instance before loosening prices,
+// or because repeated identical sales of the same range leak more
+// cumulative privacy budget than varied workloads).
+type AveragingSuspicion struct {
+	Customer string
+	Dataset  string
+	L, U     float64
+	Alpha    float64
+	Delta    float64
+	// Count is the number of identical purchases.
+	Count int
+	// TotalPaid is the group's combined spend.
+	TotalPaid float64
+}
+
+// purchaseKey identifies an exactly repeated purchase.
+type purchaseKey struct {
+	customer string
+	dataset  string
+	l, u     float64
+	alpha    float64
+	delta    float64
+}
+
+// SuspectedAveraging scans the ledger for customers who bought the same
+// (dataset, range, accuracy) at least minRepeats times. minRepeats
+// values below 2 are raised to 2 (a single purchase is never a
+// pattern). Results are sorted by descending Count, then customer name
+// for determinism.
+func (l *Ledger) SuspectedAveraging(minRepeats int) []AveragingSuspicion {
+	if minRepeats < 2 {
+		minRepeats = 2
+	}
+	l.mu.Lock()
+	groups := make(map[purchaseKey]*AveragingSuspicion)
+	for _, r := range l.receipts {
+		key := purchaseKey{
+			customer: r.Customer,
+			dataset:  r.Dataset,
+			l:        r.L,
+			u:        r.U,
+			alpha:    r.Alpha,
+			delta:    r.Delta,
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &AveragingSuspicion{
+				Customer: r.Customer,
+				Dataset:  r.Dataset,
+				L:        r.L,
+				U:        r.U,
+				Alpha:    r.Alpha,
+				Delta:    r.Delta,
+			}
+			groups[key] = g
+		}
+		g.Count++
+		g.TotalPaid += r.Price
+	}
+	l.mu.Unlock()
+
+	var out []AveragingSuspicion
+	for _, g := range groups {
+		if g.Count >= minRepeats {
+			out = append(out, *g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Customer != out[j].Customer {
+			return out[i].Customer < out[j].Customer
+		}
+		return out[i].Dataset < out[j].Dataset
+	})
+	return out
+}
+
+// Audit runs the broker's standard ledger review: averaging patterns of
+// three or more identical purchases.
+func (b *Broker) Audit() []AveragingSuspicion {
+	return b.ledger.SuspectedAveraging(3)
+}

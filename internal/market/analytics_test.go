@@ -1,0 +1,78 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/estimator"
+	"privrange/internal/pricing"
+)
+
+func TestSuspectedAveragingGrouping(t *testing.T) {
+	t.Parallel()
+	var l Ledger
+	// mallory repeats one purchase 4 times; alice buys varied queries.
+	for i := 0; i < 4; i++ {
+		l.Record(Receipt{Customer: "mallory", Dataset: "ozone", L: 10, U: 20, Alpha: 0.5, Delta: 0.2, Price: 3})
+	}
+	l.Record(Receipt{Customer: "alice", Dataset: "ozone", L: 10, U: 20, Alpha: 0.1, Delta: 0.9, Price: 50})
+	l.Record(Receipt{Customer: "alice", Dataset: "ozone", L: 30, U: 40, Alpha: 0.1, Delta: 0.9, Price: 50})
+	// bob repeats only twice: below the threshold of 3.
+	l.Record(Receipt{Customer: "bob", Dataset: "ozone", L: 10, U: 20, Alpha: 0.5, Delta: 0.2, Price: 3})
+	l.Record(Receipt{Customer: "bob", Dataset: "ozone", L: 10, U: 20, Alpha: 0.5, Delta: 0.2, Price: 3})
+
+	sus := l.SuspectedAveraging(3)
+	if len(sus) != 1 {
+		t.Fatalf("suspicions = %+v, want exactly mallory", sus)
+	}
+	got := sus[0]
+	if got.Customer != "mallory" || got.Count != 4 || math.Abs(got.TotalPaid-12) > 1e-12 {
+		t.Errorf("suspicion = %+v", got)
+	}
+
+	// At threshold 2 bob shows up as well, ordered by count descending.
+	sus = l.SuspectedAveraging(2)
+	if len(sus) != 2 || sus[0].Customer != "mallory" || sus[1].Customer != "bob" {
+		t.Errorf("threshold-2 suspicions = %+v", sus)
+	}
+	// minRepeats below 2 is clamped: a single purchase is never flagged.
+	if got := l.SuspectedAveraging(0); len(got) != 2 {
+		t.Errorf("clamped threshold suspicions = %+v", got)
+	}
+}
+
+func TestAuditCatchesRealAttack(t *testing.T) {
+	t.Parallel()
+	broker, err := NewBrokerUnchecked(pricing.UnsafeSteep{C: 1e16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, series := buildEngine(t, dataset.Ozone, 8, 71)
+	if err := broker.Register("ozone", eng, series.Len(), 8); err != nil {
+		t.Fatal(err)
+	}
+	mallory := ArbitrageConsumer{Name: "mallory", Market: broker, Menu: pricing.DefaultMenu()}
+	if _, err := mallory.Buy("ozone", 30, 90, estimator.Accuracy{Alpha: 0.05, Delta: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	alice := HonestConsumer{Name: "alice", Market: broker}
+	if _, err := alice.Buy("ozone", 30, 90, estimator.Accuracy{Alpha: 0.05, Delta: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	sus := broker.Audit()
+	if len(sus) != 1 {
+		t.Fatalf("audit = %+v, want exactly one pattern", sus)
+	}
+	if sus[0].Customer != "mallory" || sus[0].Count < 3 {
+		t.Errorf("audit should flag mallory's multi-buy: %+v", sus[0])
+	}
+}
+
+func TestAuditCleanLedger(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	if sus := broker.Audit(); len(sus) != 0 {
+		t.Errorf("empty ledger should audit clean, got %+v", sus)
+	}
+}

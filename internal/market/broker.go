@@ -1,0 +1,257 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"privrange/internal/core"
+	"privrange/internal/estimator"
+	"privrange/internal/pricing"
+)
+
+// Broker sells private range-counting answers over one or more registered
+// datasets, charging an arbitrage-avoiding tariff and recording every sale
+// in the ledger. Broker is safe for concurrent use.
+type Broker struct {
+	mu       sync.Mutex
+	tariff   pricing.Function
+	ledger   *Ledger
+	datasets map[string]*brokerDataset
+	// wallets, when non-nil, switches the broker to prepaid mode: Buy
+	// debits the customer before answering and refunds on failure.
+	wallets *Wallets
+	// customerCap bounds Σε′ per (customer, dataset); 0 means uncapped.
+	customerCap float64
+}
+
+func (b *Broker) walletStore() *Wallets {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.wallets
+}
+
+type brokerDataset struct {
+	engine *core.Engine
+	model  pricing.VarianceModel
+	n      int
+	nodes  int
+}
+
+// NewBroker returns a broker using the given tariff. The tariff is
+// checked for arbitrage-avoidance across a broad variance interval at
+// construction time: a broker refuses to open shop with an exploitable
+// price list.
+func NewBroker(tariff pricing.Function) (*Broker, error) {
+	if tariff == nil {
+		return nil, fmt.Errorf("market: nil tariff")
+	}
+	if err := pricing.Check(tariff, 1e-3, 1e12, 4000); err != nil {
+		return nil, fmt.Errorf("market: refusing exploitable tariff: %w", err)
+	}
+	return &Broker{
+		tariff:   tariff,
+		ledger:   &Ledger{},
+		datasets: make(map[string]*brokerDataset),
+	}, nil
+}
+
+// NewBrokerUnchecked skips the tariff audit. It exists only so the
+// arbitrage experiments and examples can demonstrate a vulnerable broker;
+// production callers use NewBroker.
+func NewBrokerUnchecked(tariff pricing.Function) (*Broker, error) {
+	if tariff == nil {
+		return nil, fmt.Errorf("market: nil tariff")
+	}
+	return &Broker{
+		tariff:   tariff,
+		ledger:   &Ledger{},
+		datasets: make(map[string]*brokerDataset),
+	}, nil
+}
+
+// Register adds a dataset served by the given engine. n and nodes are the
+// dataset's public metadata (|D| and k).
+func (b *Broker) Register(name string, engine *core.Engine, n, nodes int) error {
+	if name == "" {
+		return fmt.Errorf("market: empty dataset name")
+	}
+	if engine == nil {
+		return fmt.Errorf("market: nil engine for dataset %q", name)
+	}
+	if n < 1 || nodes < 1 {
+		return fmt.Errorf("market: dataset %q needs positive n (%d) and nodes (%d)", name, n, nodes)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, exists := b.datasets[name]; exists {
+		return fmt.Errorf("market: dataset %q already registered", name)
+	}
+	b.datasets[name] = &brokerDataset{
+		engine: engine,
+		model:  pricing.ChebyshevModel{N: n},
+		n:      n,
+		nodes:  nodes,
+	}
+	return nil
+}
+
+func (b *Broker) dataset(name string) (*brokerDataset, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ds, ok := b.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("market: unknown dataset %q", name)
+	}
+	return ds, nil
+}
+
+// Catalog lists registered datasets in name order.
+func (b *Broker) Catalog() []DatasetInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.datasets))
+	for name := range b.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DatasetInfo, 0, len(names))
+	for _, name := range names {
+		ds := b.datasets[name]
+		out = append(out, DatasetInfo{Name: name, N: ds.n, Nodes: ds.nodes})
+	}
+	return out
+}
+
+// Quote prices an accuracy level on a dataset without selling anything.
+func (b *Broker) Quote(dataset string, acc estimator.Accuracy) (price, variance float64, err error) {
+	ds, err := b.dataset(dataset)
+	if err != nil {
+		return 0, 0, err
+	}
+	variance, err = ds.model.Variance(acc)
+	if err != nil {
+		return 0, 0, err
+	}
+	price, err = b.tariff.Price(variance)
+	if err != nil {
+		return 0, 0, err
+	}
+	return price, variance, nil
+}
+
+// Buy answers Λ(α, δ) on the dataset, charges the customer, and records
+// the receipt. The returned response carries the private value, the
+// price paid and the effective privacy budget consumed.
+func (b *Broker) Buy(req Request) (*Response, error) {
+	req.Op = "buy"
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := b.dataset(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	price, variance, err := b.Quote(req.Dataset, req.Accuracy())
+	if err != nil {
+		return nil, err
+	}
+	wallets := b.walletStore()
+	if wallets != nil {
+		if err := wallets.debit(req.Customer, price); err != nil {
+			return nil, err
+		}
+	}
+	ans, err := ds.engine.Answer(req.Query(), req.Accuracy())
+	if err != nil {
+		if wallets != nil {
+			wallets.refund(req.Customer, price)
+		}
+		return nil, err
+	}
+	// Per-customer privacy cap: the computed answer is withheld (not
+	// released) when this sale would push the customer's cumulative Σε′
+	// on the dataset past the cap. The dataset-wide accountant has
+	// already been charged — conservative by design: a withheld answer
+	// still consumed broker-side randomness.
+	if cap := b.customerPrivacyCap(); cap > 0 {
+		spent := b.ledger.PrivacySpentByCustomer(req.Customer, req.Dataset)
+		if spent+ans.Plan.EpsilonPrime > cap {
+			if wallets != nil {
+				wallets.refund(req.Customer, price)
+			}
+			return nil, fmt.Errorf("market: customer %q would exceed the per-customer privacy cap on %q (%.4f + %.4f > %.4f)",
+				req.Customer, req.Dataset, spent, ans.Plan.EpsilonPrime, cap)
+		}
+	}
+	receipt := b.ledger.Record(Receipt{
+		Customer:     req.Customer,
+		Dataset:      req.Dataset,
+		L:            req.L,
+		U:            req.U,
+		Alpha:        req.Alpha,
+		Delta:        req.Delta,
+		Variance:     variance,
+		Price:        price,
+		EpsilonPrime: ans.Plan.EpsilonPrime,
+	})
+	return &Response{
+		OK:           true,
+		Price:        price,
+		Variance:     variance,
+		Value:        ans.Value,
+		Clamped:      ans.Clamped(),
+		Receipt:      &receipt,
+		EpsilonPrime: ans.Plan.EpsilonPrime,
+	}, nil
+}
+
+// Ledger exposes the purchase ledger.
+func (b *Broker) Ledger() *Ledger { return b.ledger }
+
+// Tariff returns the broker's pricing function.
+func (b *Broker) Tariff() pricing.Function { return b.tariff }
+
+// Handle dispatches one protocol request; transport servers call it. It
+// never returns an error: failures become Response.Error so they travel
+// back to the remote client.
+func (b *Broker) Handle(req Request) *Response {
+	if err := req.Validate(); err != nil {
+		return &Response{Error: err.Error()}
+	}
+	switch req.Op {
+	case "catalog":
+		return &Response{OK: true, Datasets: b.Catalog()}
+	case "quote":
+		price, variance, err := b.Quote(req.Dataset, req.Accuracy())
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Price: price, Variance: variance}
+	case "buy":
+		resp, err := b.Buy(req)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return resp
+	case "deposit":
+		w := b.walletStore()
+		if w == nil {
+			return &Response{Error: "market: broker runs in invoice mode (no wallets attached)"}
+		}
+		if err := w.Deposit(req.Customer, req.Amount); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Balance: w.Balance(req.Customer)}
+	case "balance":
+		w := b.walletStore()
+		if w == nil {
+			return &Response{Error: "market: broker runs in invoice mode (no wallets attached)"}
+		}
+		return &Response{OK: true, Balance: w.Balance(req.Customer)}
+	case "audit":
+		return &Response{OK: true, Suspicions: b.Audit()}
+	default:
+		return &Response{Error: fmt.Sprintf("market: unknown op %q", req.Op)}
+	}
+}

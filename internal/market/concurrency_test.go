@@ -1,0 +1,29 @@
+package market
+
+import (
+	"sync"
+	"testing"
+
+	"privrange/internal/pricing"
+)
+
+// TestConcurrentBuys exercises the full buy path from many goroutines; run
+// with -race to validate the engine-level serialization.
+func TestConcurrentBuys(t *testing.T) {
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				req := Request{Dataset: "ozone", Customer: "c", L: 30, U: 90, Alpha: 0.1, Delta: 0.5}
+				if _, err := broker.Buy(req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,175 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/estimator"
+)
+
+// Market is the consumer-side view of a broker: Broker implements it
+// directly (in-process) and RemoteMarket adapts a TCP Client to it, so
+// every consumer strategy runs identically locally and over the wire.
+type Market interface {
+	Quote(dataset string, acc estimator.Accuracy) (price, variance float64, err error)
+	Buy(req Request) (*Response, error)
+}
+
+var _ Market = (*Broker)(nil)
+
+// RemoteMarket adapts a Client to the Market interface.
+type RemoteMarket struct {
+	Client *Client
+}
+
+var _ Market = RemoteMarket{}
+
+// Quote implements Market.
+func (m RemoteMarket) Quote(dataset string, acc estimator.Accuracy) (float64, float64, error) {
+	return m.Client.Quote(dataset, acc.Alpha, acc.Delta)
+}
+
+// Buy implements Market.
+func (m RemoteMarket) Buy(req Request) (*Response, error) {
+	return m.Client.Buy(req)
+}
+
+// Purchase is the outcome of a consumer strategy.
+type Purchase struct {
+	// Value is the range-counting answer the consumer ends up with
+	// (possibly an average of several bought answers).
+	Value float64
+	// Cost is the total amount paid.
+	Cost float64
+	// Receipts lists every underlying purchase.
+	Receipts []Receipt
+	// Arbitrage is true when the consumer assembled the answer from
+	// cheaper purchases instead of buying the target directly.
+	Arbitrage bool
+	// DirectPrice is what the honest purchase would have cost.
+	DirectPrice float64
+}
+
+// Savings returns DirectPrice − Cost (positive means the strategy beat
+// the list price).
+func (p Purchase) Savings() float64 { return p.DirectPrice - p.Cost }
+
+// HonestConsumer buys exactly what it wants.
+type HonestConsumer struct {
+	Name   string
+	Market Market
+}
+
+// Buy purchases Λ(α, δ) on [l, u] directly.
+func (c HonestConsumer) Buy(dataset string, l, u float64, acc estimator.Accuracy) (Purchase, error) {
+	if c.Market == nil {
+		return Purchase{}, fmt.Errorf("market: consumer %q has no market", c.Name)
+	}
+	resp, err := c.Market.Buy(Request{
+		Dataset:  dataset,
+		Customer: c.Name,
+		L:        l,
+		U:        u,
+		Alpha:    acc.Alpha,
+		Delta:    acc.Delta,
+	})
+	if err != nil {
+		return Purchase{}, err
+	}
+	p := Purchase{Value: resp.Value, Cost: resp.Price, DirectPrice: resp.Price}
+	if resp.Receipt != nil {
+		p.Receipts = append(p.Receipts, *resp.Receipt)
+	}
+	return p, nil
+}
+
+// ArbitrageConsumer is the adversary of Example 4.1: before buying, it
+// quotes every strictly-worse menu item, works out how many copies it
+// would need to average down to the target variance, and executes the
+// cheapest plan — which is the direct purchase exactly when the tariff is
+// arbitrage-avoiding.
+type ArbitrageConsumer struct {
+	Name   string
+	Market Market
+	// Menu is the accuracy grid the adversary considers buying from.
+	Menu []estimator.Accuracy
+	// MaxCopies bounds the number of purchases per strategy. Zero selects
+	// 64.
+	MaxCopies int
+}
+
+// Buy acquires an answer meeting the target accuracy as cheaply as the
+// tariff permits.
+func (c ArbitrageConsumer) Buy(dataset string, l, u float64, target estimator.Accuracy) (Purchase, error) {
+	if c.Market == nil {
+		return Purchase{}, fmt.Errorf("market: consumer %q has no market", c.Name)
+	}
+	if err := target.Validate(); err != nil {
+		return Purchase{}, err
+	}
+	maxCopies := c.MaxCopies
+	if maxCopies == 0 {
+		maxCopies = 64
+	}
+	directPrice, targetVar, err := c.Market.Quote(dataset, target)
+	if err != nil {
+		return Purchase{}, err
+	}
+
+	type plan struct {
+		item   estimator.Accuracy
+		copies int
+		cost   float64
+	}
+	best := plan{item: target, copies: 1, cost: directPrice}
+	for _, item := range c.Menu {
+		if item.Validate() != nil {
+			continue
+		}
+		// Definition 2.3: only strictly worse items participate.
+		if item.Alpha <= target.Alpha || item.Delta >= target.Delta {
+			continue
+		}
+		price, variance, err := c.Market.Quote(dataset, item)
+		if err != nil {
+			return Purchase{}, err
+		}
+		copies := int(math.Ceil(variance / targetVar))
+		if copies < 1 {
+			copies = 1
+		}
+		if copies > maxCopies {
+			continue
+		}
+		if cost := float64(copies) * price; cost < best.cost {
+			best = plan{item: item, copies: copies, cost: cost}
+		}
+	}
+
+	// Execute the winning plan.
+	purchase := Purchase{
+		DirectPrice: directPrice,
+		Arbitrage:   best.copies > 1 || best.item != target,
+	}
+	sum := 0.0
+	for i := 0; i < best.copies; i++ {
+		resp, err := c.Market.Buy(Request{
+			Dataset:  dataset,
+			Customer: c.Name,
+			L:        l,
+			U:        u,
+			Alpha:    best.item.Alpha,
+			Delta:    best.item.Delta,
+		})
+		if err != nil {
+			return Purchase{}, fmt.Errorf("market: arbitrage purchase %d/%d: %w", i+1, best.copies, err)
+		}
+		sum += resp.Value
+		purchase.Cost += resp.Price
+		if resp.Receipt != nil {
+			purchase.Receipts = append(purchase.Receipts, *resp.Receipt)
+		}
+	}
+	purchase.Value = sum / float64(best.copies)
+	return purchase, nil
+}

@@ -1,0 +1,116 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the broker's durable trading state: the ledger and the
+// prepaid balances. Sample state is deliberately excluded — on restart a
+// broker re-collects from the (authoritative) IoT network, while money
+// and receipts must survive.
+type Snapshot struct {
+	Receipts []Receipt          `json:"receipts"`
+	NextID   int64              `json:"next_id"`
+	Balances map[string]float64 `json:"balances,omitempty"`
+}
+
+// snapshot extracts the ledger state.
+func (l *Ledger) snapshot() ([]Receipt, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Receipt, len(l.receipts))
+	copy(out, l.receipts)
+	return out, l.nextID
+}
+
+// restore replaces the ledger state.
+func (l *Ledger) restore(receipts []Receipt, nextID int64) error {
+	seen := make(map[int64]bool, len(receipts))
+	for _, r := range receipts {
+		if r.ID <= 0 || r.ID > nextID {
+			return fmt.Errorf("market: receipt id %d outside [1, %d]", r.ID, nextID)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("market: duplicate receipt id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.receipts = make([]Receipt, len(receipts))
+	copy(l.receipts, receipts)
+	l.nextID = nextID
+	return nil
+}
+
+// snapshotBalances copies the wallet state.
+func (w *Wallets) snapshotBalances() map[string]float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]float64, len(w.balances))
+	for c, b := range w.balances {
+		out[c] = b
+	}
+	return out
+}
+
+// restoreBalances replaces the wallet state.
+func (w *Wallets) restoreBalances(balances map[string]float64) error {
+	for c, b := range balances {
+		if c == "" {
+			return fmt.Errorf("market: snapshot has an anonymous balance")
+		}
+		if b < 0 {
+			return fmt.Errorf("market: snapshot has negative balance %v for %q", b, c)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.balances = make(map[string]float64, len(balances))
+	for c, b := range balances {
+		w.balances[c] = b
+	}
+	return nil
+}
+
+// SaveState serializes the broker's trading state (ledger + wallets) as
+// JSON. Call it on shutdown; RestoreState reloads it after restart.
+func (b *Broker) SaveState(w io.Writer) error {
+	receipts, nextID := b.ledger.snapshot()
+	snap := Snapshot{Receipts: receipts, NextID: nextID}
+	if wallets := b.walletStore(); wallets != nil {
+		snap.Balances = wallets.snapshotBalances()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("market: save state: %w", err)
+	}
+	return nil
+}
+
+// RestoreState loads a snapshot produced by SaveState. Balances restore
+// only when wallets are attached; a snapshot with balances loaded into
+// an invoice-mode broker is rejected so money cannot silently vanish.
+func (b *Broker) RestoreState(r io.Reader) error {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("market: restore state: %w", err)
+	}
+	wallets := b.walletStore()
+	if len(snap.Balances) > 0 && wallets == nil {
+		return fmt.Errorf("market: snapshot carries balances but broker has no wallets attached")
+	}
+	if err := b.ledger.restore(snap.Receipts, snap.NextID); err != nil {
+		return err
+	}
+	if wallets != nil && snap.Balances != nil {
+		if err := wallets.restoreBalances(snap.Balances); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package market
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/pricing"
+)
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	var w Wallets
+	broker.AttachWallets(&w)
+	if err := w.Deposit("alice", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Dataset: "ozone", Customer: "alice", L: 30, U: 90, Alpha: 0.1, Delta: 0.5}
+	for i := 0; i < 3; i++ {
+		if _, err := broker.Buy(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := broker.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh broker (same datasets, fresh engines) restores the books.
+	fresh, err := NewBroker(pricing.InverseVariance{C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, series := buildEngine(t, dataset.Ozone, 10, 99)
+	if err := fresh.Register("ozone", eng, series.Len(), 10); err != nil {
+		t.Fatal(err)
+	}
+	var fw Wallets
+	fresh.AttachWallets(&fw)
+	if err := fresh.RestoreState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Ledger().Purchases() != 3 {
+		t.Errorf("restored purchases = %d, want 3", fresh.Ledger().Purchases())
+	}
+	if got, want := fresh.Ledger().Revenue(), broker.Ledger().Revenue(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("restored revenue = %v, want %v", got, want)
+	}
+	if got, want := fw.Balance("alice"), w.Balance("alice"); math.Abs(got-want) > 1e-9 {
+		t.Errorf("restored balance = %v, want %v", got, want)
+	}
+	// New sales continue the id sequence without collisions.
+	resp, err := fresh.Buy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Receipt.ID != 4 {
+		t.Errorf("next receipt id = %d, want 4", resp.Receipt.ID)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	if err := broker.RestoreState(strings.NewReader("not json")); err == nil {
+		t.Error("garbage snapshot should fail")
+	}
+	// Balances into invoice mode: rejected.
+	if err := broker.RestoreState(strings.NewReader(
+		`{"receipts":[],"next_id":0,"balances":{"alice":5}}`)); err == nil {
+		t.Error("balances without wallets should fail")
+	}
+	// Corrupt receipt ids.
+	if err := broker.RestoreState(strings.NewReader(
+		`{"receipts":[{"id":0}],"next_id":1}`)); err == nil {
+		t.Error("receipt id 0 should fail")
+	}
+	if err := broker.RestoreState(strings.NewReader(
+		`{"receipts":[{"id":5}],"next_id":1}`)); err == nil {
+		t.Error("id beyond next_id should fail")
+	}
+	if err := broker.RestoreState(strings.NewReader(
+		`{"receipts":[{"id":1},{"id":1}],"next_id":2}`)); err == nil {
+		t.Error("duplicate ids should fail")
+	}
+	var w Wallets
+	broker.AttachWallets(&w)
+	if err := broker.RestoreState(strings.NewReader(
+		`{"receipts":[],"next_id":0,"balances":{"":5}}`)); err == nil {
+		t.Error("anonymous balance should fail")
+	}
+	if err := broker.RestoreState(strings.NewReader(
+		`{"receipts":[],"next_id":0,"balances":{"alice":-5}}`)); err == nil {
+		t.Error("negative balance should fail")
+	}
+}
+
+func TestCustomerPrivacyCap(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	req := Request{Dataset: "ozone", Customer: "alice", L: 30, U: 90, Alpha: 0.1, Delta: 0.5}
+	// First purchase to learn the per-sale epsilon'.
+	resp, err := broker.Buy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSale := resp.EpsilonPrime
+	if err := broker.SetCustomerPrivacyCap(-1); err == nil {
+		t.Error("negative cap should fail")
+	}
+	// Cap allows roughly one more purchase.
+	if err := broker.SetCustomerPrivacyCap(perSale * 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Buy(req); err != nil {
+		t.Fatalf("second purchase within cap should pass: %v", err)
+	}
+	if _, err := broker.Buy(req); err == nil || !strings.Contains(err.Error(), "privacy cap") {
+		t.Fatalf("third purchase should hit the cap, got %v", err)
+	}
+	// Another customer is unaffected.
+	other := req
+	other.Customer = "bob"
+	if _, err := broker.Buy(other); err != nil {
+		t.Errorf("bob should be under his own cap: %v", err)
+	}
+	// Per-customer accounting matches.
+	aliceEps := broker.Ledger().PrivacySpentByCustomer("alice", "ozone")
+	if math.Abs(aliceEps-2*perSale) > 1e-9 {
+		t.Errorf("alice privacy spend = %v, want %v", aliceEps, 2*perSale)
+	}
+	// Removing the cap reopens sales.
+	if err := broker.SetCustomerPrivacyCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Buy(req); err != nil {
+		t.Errorf("uncapped purchase should pass: %v", err)
+	}
+}
+
+func TestCapRefundsPrepaidCustomer(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	var w Wallets
+	broker.AttachWallets(&w)
+	req := Request{Dataset: "ozone", Customer: "alice", L: 30, U: 90, Alpha: 0.1, Delta: 0.5}
+	price, _, err := broker.Quote("ozone", req.Accuracy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Deposit("alice", price*5); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := broker.Buy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.SetCustomerPrivacyCap(resp.EpsilonPrime * 1.5); err != nil {
+		t.Fatal(err)
+	}
+	balBefore := w.Balance("alice")
+	if _, err := broker.Buy(req); err == nil {
+		t.Fatal("cap should block")
+	}
+	if got := w.Balance("alice"); math.Abs(got-balBefore) > 1e-9 {
+		t.Errorf("blocked sale must refund: balance %v, want %v", got, balBefore)
+	}
+}

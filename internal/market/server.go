@@ -1,0 +1,270 @@
+package market
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server exposes a Broker over TCP with a newline-delimited JSON
+// protocol: one Request per line in, one Response per line out,
+// arbitrarily many exchanges per connection.
+type Server struct {
+	broker   *Broker
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// maxLineBytes bounds a single protocol line to keep hostile clients from
+// exhausting memory.
+const maxLineBytes = 1 << 20
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and begins accepting
+// connections in the background. Close shuts it down.
+func Serve(broker *Broker, addr string) (*Server, error) {
+	if broker == nil {
+		return nil, fmt.Errorf("market: nil broker")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("market: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		broker:   broker,
+		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	_ = conn.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), maxLineBytes)
+	writer := bufio.NewWriter(conn)
+	enc := json.NewEncoder(writer)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp *Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = &Response{Error: fmt.Sprintf("market: malformed request: %v", err)}
+		} else {
+			resp = s.broker.Handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := writer.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a TCP consumer of a market Server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	reader *bufio.Reader
+}
+
+// Dial connects to a market server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("market: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:   conn,
+		reader: bufio.NewReader(conn),
+	}, nil
+}
+
+// Do performs one request/response exchange. It is safe for concurrent
+// use (exchanges serialize on the single connection).
+func (c *Client) Do(req Request) (*Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("market: marshal request: %w", err)
+	}
+	payload = append(payload, '\n')
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(payload); err != nil {
+		return nil, fmt.Errorf("market: send: %w", err)
+	}
+	line, err := c.reader.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("market: receive: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("market: malformed response: %w", err)
+	}
+	return &resp, nil
+}
+
+// ErrRemote wraps a broker-side failure reported over the protocol.
+var ErrRemote = errors.New("market: remote error")
+
+// expectOK converts a Response with Error set into a Go error.
+func expectOK(resp *Response) error {
+	if resp.Error != "" {
+		return fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+	}
+	if !resp.OK {
+		return fmt.Errorf("%w: response not ok", ErrRemote)
+	}
+	return nil
+}
+
+// Catalog fetches the dataset list.
+func (c *Client) Catalog() ([]DatasetInfo, error) {
+	resp, err := c.Do(Request{Op: "catalog"})
+	if err != nil {
+		return nil, err
+	}
+	if err := expectOK(resp); err != nil {
+		return nil, err
+	}
+	return resp.Datasets, nil
+}
+
+// Quote prices an accuracy level remotely.
+func (c *Client) Quote(dataset string, alpha, delta float64) (price, variance float64, err error) {
+	resp, err := c.Do(Request{Op: "quote", Dataset: dataset, Alpha: alpha, Delta: delta})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := expectOK(resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Price, resp.Variance, nil
+}
+
+// Buy purchases one answer remotely.
+func (c *Client) Buy(req Request) (*Response, error) {
+	req.Op = "buy"
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectOK(resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Deposit credits the customer's prepaid account on the broker and
+// returns the new balance. Fails when the broker runs in invoice mode.
+func (c *Client) Deposit(customer string, amount float64) (float64, error) {
+	resp, err := c.Do(Request{Op: "deposit", Customer: customer, Amount: amount})
+	if err != nil {
+		return 0, err
+	}
+	if err := expectOK(resp); err != nil {
+		return 0, err
+	}
+	return resp.Balance, nil
+}
+
+// Balance fetches the customer's prepaid balance.
+func (c *Client) Balance(customer string) (float64, error) {
+	resp, err := c.Do(Request{Op: "balance", Customer: customer})
+	if err != nil {
+		return 0, err
+	}
+	if err := expectOK(resp); err != nil {
+		return 0, err
+	}
+	return resp.Balance, nil
+}
+
+// Audit fetches the broker's averaging-pattern report.
+func (c *Client) Audit() ([]AveragingSuspicion, error) {
+	resp, err := c.Do(Request{Op: "audit"})
+	if err != nil {
+		return nil, err
+	}
+	if err := expectOK(resp); err != nil {
+		return nil, err
+	}
+	return resp.Suspicions, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

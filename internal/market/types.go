@@ -1,0 +1,133 @@
+// Package market implements the trading layer of the paper's system
+// model: a data broker that sells ε′-differentially-private
+// (α, δ)-range-counting answers under an arbitrage-avoiding tariff, a
+// purchase ledger, a TCP+JSON query protocol, and consumer strategies —
+// including the averaging adversary of Example 4.1, run against real
+// purchases rather than on paper.
+package market
+
+import (
+	"fmt"
+
+	"privrange/internal/estimator"
+)
+
+// Request is a consumer's message to the broker.
+type Request struct {
+	// Op selects the operation: "quote", "buy", "catalog", "deposit",
+	// "balance" or "audit".
+	Op string `json:"op"`
+	// Dataset names the series to query (e.g. "ozone"). Required for
+	// quote and buy.
+	Dataset string `json:"dataset,omitempty"`
+	// Customer identifies the buyer for the ledger.
+	Customer string `json:"customer,omitempty"`
+	// L and U are the range bounds (buy only).
+	L float64 `json:"l,omitempty"`
+	U float64 `json:"u,omitempty"`
+	// Alpha and Delta specify the accuracy Λ(α, δ).
+	Alpha float64 `json:"alpha,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Amount is the deposit value (deposit only).
+	Amount float64 `json:"amount,omitempty"`
+}
+
+// Accuracy converts the request's accuracy fields.
+func (r Request) Accuracy() estimator.Accuracy {
+	return estimator.Accuracy{Alpha: r.Alpha, Delta: r.Delta}
+}
+
+// Query converts the request's range fields.
+func (r Request) Query() estimator.Query {
+	return estimator.Query{L: r.L, U: r.U}
+}
+
+// Response is the broker's reply. Exactly one of Error or the payload
+// fields is meaningful.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Quote and buy payload.
+	Price    float64 `json:"price,omitempty"`
+	Variance float64 `json:"variance,omitempty"`
+
+	// Buy payload. Value is the raw unbiased release (may be negative);
+	// Clamped is truncated to [0, n] for display.
+	Value        float64  `json:"value,omitempty"`
+	Clamped      float64  `json:"clamped,omitempty"`
+	Receipt      *Receipt `json:"receipt,omitempty"`
+	EpsilonPrime float64  `json:"epsilon_prime,omitempty"`
+
+	// Catalog payload.
+	Datasets []DatasetInfo `json:"datasets,omitempty"`
+
+	// Deposit/balance payload.
+	Balance float64 `json:"balance,omitempty"`
+
+	// Audit payload.
+	Suspicions []AveragingSuspicion `json:"suspicions,omitempty"`
+}
+
+// DatasetInfo describes one purchasable dataset.
+type DatasetInfo struct {
+	Name  string `json:"name"`
+	N     int    `json:"n"`
+	Nodes int    `json:"nodes"`
+}
+
+// Receipt documents one completed purchase; the ledger stores them and
+// consumers keep them as proof of payment.
+type Receipt struct {
+	ID       int64   `json:"id"`
+	Customer string  `json:"customer"`
+	Dataset  string  `json:"dataset"`
+	L        float64 `json:"l"`
+	U        float64 `json:"u"`
+	Alpha    float64 `json:"alpha"`
+	Delta    float64 `json:"delta"`
+	Variance float64 `json:"variance"`
+	Price    float64 `json:"price"`
+	// EpsilonPrime is the effective privacy budget the sale released —
+	// the broker's per-sale privacy bookkeeping.
+	EpsilonPrime float64 `json:"epsilon_prime"`
+}
+
+// Validate checks the request's structural invariants per operation.
+func (r Request) Validate() error {
+	switch r.Op {
+	case "catalog", "audit":
+		return nil
+	case "deposit":
+		if r.Customer == "" {
+			return fmt.Errorf("market: deposit needs a customer id")
+		}
+		if r.Amount <= 0 {
+			return fmt.Errorf("market: deposit amount %v must be positive", r.Amount)
+		}
+		return nil
+	case "balance":
+		if r.Customer == "" {
+			return fmt.Errorf("market: balance needs a customer id")
+		}
+		return nil
+	case "quote":
+		if r.Dataset == "" {
+			return fmt.Errorf("market: quote needs a dataset")
+		}
+		return r.Accuracy().Validate()
+	case "buy":
+		if r.Dataset == "" {
+			return fmt.Errorf("market: buy needs a dataset")
+		}
+		if r.Customer == "" {
+			return fmt.Errorf("market: buy needs a customer id")
+		}
+		if err := r.Accuracy().Validate(); err != nil {
+			return err
+		}
+		return r.Query().Validate()
+	default:
+		return fmt.Errorf("market: unknown op %q", r.Op)
+	}
+}

@@ -1,0 +1,93 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Wallets manages prepaid customer accounts. When attached to a broker,
+// every Buy debits the customer's balance and fails — before any private
+// answer is computed — if funds are insufficient. Wallets is safe for
+// concurrent use; its zero value is ready.
+type Wallets struct {
+	mu       sync.Mutex
+	balances map[string]float64
+}
+
+// Deposit credits a customer's account. It returns an error for an empty
+// customer id or a non-positive amount.
+func (w *Wallets) Deposit(customer string, amount float64) error {
+	if customer == "" {
+		return fmt.Errorf("market: deposit needs a customer id")
+	}
+	if amount <= 0 {
+		return fmt.Errorf("market: deposit amount %v must be positive", amount)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.balances == nil {
+		w.balances = make(map[string]float64)
+	}
+	w.balances[customer] += amount
+	return nil
+}
+
+// Balance returns a customer's current balance (0 for unknown
+// customers).
+func (w *Wallets) Balance(customer string) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.balances[customer]
+}
+
+// debit withdraws amount, failing without side effects when the balance
+// is short.
+func (w *Wallets) debit(customer string, amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("market: negative debit %v", amount)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	bal := w.balances[customer]
+	if bal < amount {
+		return fmt.Errorf("market: customer %q has %.4f, needs %.4f", customer, bal, amount)
+	}
+	w.balances[customer] = bal - amount
+	return nil
+}
+
+// refund returns amount to the customer (used when an answer fails after
+// the debit).
+func (w *Wallets) refund(customer string, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.balances == nil {
+		w.balances = make(map[string]float64)
+	}
+	w.balances[customer] += amount
+}
+
+// Customers lists account holders in name order.
+func (w *Wallets) Customers() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.balances))
+	for c := range w.balances {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachWallets switches the broker to prepaid mode: subsequent Buy
+// calls debit the wallet first and refund on failure. Passing nil
+// returns the broker to invoice mode (no balance enforcement).
+func (b *Broker) AttachWallets(w *Wallets) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wallets = w
+}

@@ -1,0 +1,48 @@
+package optimize_test
+
+import (
+	"fmt"
+	"log"
+
+	"privrange/internal/estimator"
+	"privrange/internal/optimize"
+)
+
+// Example walks one instance of the paper's optimization problem (3):
+// given samples at rate p and a customer accuracy (α, δ), find the
+// noise plan with the smallest effective budget ε′.
+func Example() {
+	prob := optimize.Problem{
+		Accuracy: estimator.Accuracy{Alpha: 0.1, Delta: 0.6},
+		P:        0.2,
+		K:        10,
+		N:        17568,
+	}
+	plan, err := prob.SolveRefined()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("internal split strictly tighter:",
+		plan.AlphaPrime < prob.Accuracy.Alpha && plan.DeltaPrime > prob.Accuracy.Delta)
+	fmt.Println("amplification helps:", plan.EpsilonPrime < plan.Epsilon)
+	fmt.Println("plan verifies:", prob.Verify(plan, 1e-9) == nil)
+	// Output:
+	// internal split strictly tighter: true
+	// amplification helps: true
+	// plan verifies: true
+}
+
+// ExampleProblem_Solve_infeasible shows the diagnosis when the broker's
+// samples cannot support the requested accuracy.
+func ExampleProblem_Solve_infeasible() {
+	prob := optimize.Problem{
+		Accuracy: estimator.Accuracy{Alpha: 0.1, Delta: 0.6},
+		P:        0.001, // far too few samples
+		K:        10,
+		N:        17568,
+	}
+	_, err := prob.Solve()
+	fmt.Println("infeasible:", optimize.IsInfeasible(err))
+	// Output:
+	// infeasible: true
+}

@@ -1,0 +1,212 @@
+package pricing
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/estimator"
+)
+
+// Strategy is one candidate arbitrage plan: buy Copies identical answers
+// at the cheaper accuracy Item, then average them.
+type Strategy struct {
+	// Item is the per-purchase accuracy (worse than the target: larger α
+	// or smaller δ).
+	Item estimator.Accuracy
+	// ItemVariance is V(Item).
+	ItemVariance float64
+	// Copies is m, the number of purchases averaged.
+	Copies int
+	// TotalCost is m·π(Item).
+	TotalCost float64
+	// AchievedVariance is ItemVariance/m, the variance after averaging.
+	AchievedVariance float64
+}
+
+// AttackReport summarizes an adversary's search for arbitrage against one
+// target accuracy.
+type AttackReport struct {
+	// Target is the accuracy the adversary actually wants.
+	Target estimator.Accuracy
+	// TargetVariance and DirectCost describe the honest purchase.
+	TargetVariance float64
+	DirectCost     float64
+	// Best is the cheapest strategy found that achieves at most the
+	// target variance. Nil when no candidate strategy qualifies.
+	Best *Strategy
+	// CostRatio is Best.TotalCost / DirectCost (0 when Best is nil).
+	// A ratio < 1 means the attack wins: the tariff admits arbitrage.
+	CostRatio float64
+}
+
+// Arbitrage reports whether the adversary found a strictly cheaper way to
+// reach the target variance. A hair of tolerance keeps the neutral tariff
+// ψ(V)=c/V — where every strategy ties exactly — classified as safe.
+func (r AttackReport) Arbitrage() bool {
+	return r.Best != nil && r.CostRatio < 1-1e-9
+}
+
+// Adversary searches menu items and copy counts for an averaging attack
+// (Example 4.1).
+type Adversary struct {
+	// Model maps accuracies to variances.
+	Model VarianceModel
+	// MaxCopies bounds the search over m. Zero selects 64.
+	MaxCopies int
+}
+
+// Attack evaluates the tariff f against the target accuracy, trying every
+// menu item (each must be weakly worse than the target in both
+// coordinates, per Definition 2.3) with every copy count up to MaxCopies,
+// and returns the best strategy found.
+func (a Adversary) Attack(f Function, target estimator.Accuracy, menu []estimator.Accuracy) (AttackReport, error) {
+	if a.Model == nil {
+		return AttackReport{}, fmt.Errorf("pricing: adversary needs a variance model")
+	}
+	if err := target.Validate(); err != nil {
+		return AttackReport{}, err
+	}
+	maxCopies := a.MaxCopies
+	if maxCopies == 0 {
+		maxCopies = 64
+	}
+	targetVar, err := a.Model.Variance(target)
+	if err != nil {
+		return AttackReport{}, err
+	}
+	directCost, err := f.Price(targetVar)
+	if err != nil {
+		return AttackReport{}, err
+	}
+	report := AttackReport{
+		Target:         target,
+		TargetVariance: targetVar,
+		DirectCost:     directCost,
+	}
+	for _, item := range menu {
+		if err := item.Validate(); err != nil {
+			return AttackReport{}, err
+		}
+		// Definition 2.3's attack buys strictly worse items: α_i > α,
+		// δ_i < δ.
+		if item.Alpha <= target.Alpha || item.Delta >= target.Delta {
+			continue
+		}
+		itemVar, err := a.Model.Variance(item)
+		if err != nil {
+			return AttackReport{}, err
+		}
+		itemCost, err := f.Price(itemVar)
+		if err != nil {
+			return AttackReport{}, err
+		}
+		for m := 1; m <= maxCopies; m++ {
+			achieved := itemVar / float64(m)
+			if achieved > targetVar {
+				continue // not accurate enough yet; try more copies
+			}
+			total := float64(m) * itemCost
+			if report.Best == nil || total < report.Best.TotalCost {
+				report.Best = &Strategy{
+					Item:             item,
+					ItemVariance:     itemVar,
+					Copies:           m,
+					TotalCost:        total,
+					AchievedVariance: achieved,
+				}
+			}
+			break // more copies only cost more at the same item
+		}
+	}
+	if report.Best != nil {
+		report.CostRatio = report.Best.TotalCost / directCost
+	}
+	return report, nil
+}
+
+// AttackWeighted evaluates the strongest averaging strategy: instead of
+// the plain mean of Definition 2.3, the adversary combines purchases by
+// inverse-variance weighting, so n copies of an item with variance v
+// yield variance v/n and mixing items only helps. The cost-minimal plan
+// under weighting is a corner of the underlying linear program — buy
+// ⌈v_i/V⌉ copies of the single item minimizing price·variance — so the
+// same product condition V·ψ(V) non-decreasing defends against it; this
+// search exists to demonstrate that empirically.
+func (a Adversary) AttackWeighted(f Function, target estimator.Accuracy, menu []estimator.Accuracy) (AttackReport, error) {
+	if a.Model == nil {
+		return AttackReport{}, fmt.Errorf("pricing: adversary needs a variance model")
+	}
+	if err := target.Validate(); err != nil {
+		return AttackReport{}, err
+	}
+	maxCopies := a.MaxCopies
+	if maxCopies == 0 {
+		maxCopies = 64
+	}
+	targetVar, err := a.Model.Variance(target)
+	if err != nil {
+		return AttackReport{}, err
+	}
+	directCost, err := f.Price(targetVar)
+	if err != nil {
+		return AttackReport{}, err
+	}
+	report := AttackReport{
+		Target:         target,
+		TargetVariance: targetVar,
+		DirectCost:     directCost,
+	}
+	for _, item := range menu {
+		if err := item.Validate(); err != nil {
+			return AttackReport{}, err
+		}
+		if item.Alpha <= target.Alpha || item.Delta >= target.Delta {
+			continue
+		}
+		itemVar, err := a.Model.Variance(item)
+		if err != nil {
+			return AttackReport{}, err
+		}
+		itemCost, err := f.Price(itemVar)
+		if err != nil {
+			return AttackReport{}, err
+		}
+		// Inverse-variance combination of m copies achieves itemVar/m.
+		m := int(math.Ceil(itemVar / targetVar))
+		if m < 1 {
+			m = 1
+		}
+		if m > maxCopies {
+			continue
+		}
+		total := float64(m) * itemCost
+		if report.Best == nil || total < report.Best.TotalCost {
+			report.Best = &Strategy{
+				Item:             item,
+				ItemVariance:     itemVar,
+				Copies:           m,
+				TotalCost:        total,
+				AchievedVariance: itemVar / float64(m),
+			}
+		}
+	}
+	if report.Best != nil {
+		report.CostRatio = report.Best.TotalCost / directCost
+	}
+	return report, nil
+}
+
+// DefaultMenu builds a grid of purchasable accuracies around (and
+// including points worse than) the target, the menu a realistic broker
+// would publish.
+func DefaultMenu() []estimator.Accuracy {
+	alphas := []float64{0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8}
+	deltas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	menu := make([]estimator.Accuracy, 0, len(alphas)*len(deltas))
+	for _, a := range alphas {
+		for _, d := range deltas {
+			menu = append(menu, estimator.Accuracy{Alpha: a, Delta: d})
+		}
+	}
+	return menu
+}

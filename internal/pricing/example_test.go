@@ -1,0 +1,50 @@
+package pricing_test
+
+import (
+	"fmt"
+	"log"
+
+	"privrange/internal/estimator"
+	"privrange/internal/pricing"
+)
+
+// Example prices two accuracy levels under the audited tariff and shows
+// the averaging adversary failing against it.
+func Example() {
+	model := pricing.ChebyshevModel{N: 17568}
+	tariff := pricing.BaseFeePlusInverse{Base: 2, C: 1e9}
+
+	// Better accuracy -> smaller variance -> higher price.
+	cheapVar, err := model.Variance(estimator.Accuracy{Alpha: 0.2, Delta: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dearVar, err := model.Variance(estimator.Accuracy{Alpha: 0.05, Delta: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheap, err := tariff.Price(cheapVar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dear, err := tariff.Price(dearVar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accuracy costs more:", dear > cheap)
+
+	// The tariff passes the Theorem 4.2 audit...
+	fmt.Println("audit passes:", pricing.Check(tariff, 1e-3, 1e12, 2000) == nil)
+
+	// ...so the Example 4.1 adversary cannot profit.
+	adv := pricing.Adversary{Model: model}
+	report, err := adv.Attack(tariff, estimator.Accuracy{Alpha: 0.05, Delta: 0.9}, pricing.DefaultMenu())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("arbitrage found:", report.Arbitrage())
+	// Output:
+	// accuracy costs more: true
+	// audit passes: true
+	// arbitrage found: false
+}

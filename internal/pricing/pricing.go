@@ -1,0 +1,232 @@
+// Package pricing implements the paper's arbitrage-avoiding pricing
+// mechanism (§IV) for traded (α, δ)-range-counting answers.
+//
+// The attack (Example 4.1): instead of paying π(α, δ) for one low-variance
+// answer, a consumer buys m cheaper answers with variances V₁…V_m and
+// averages them, obtaining variance (1/m²)ΣV_i — possibly below V(α, δ) at
+// a total price below π(α, δ).
+//
+// Characterization (Theorem 4.2, stated here in the variance domain): a
+// pricing function avoids arbitrage if and only if
+//
+//  1. price depends on (α, δ) only through the answer variance:
+//     π(α, δ) = ψ(V(α, δ))  (Lemma 4.1);
+//  2. ψ is non-increasing (worse answers never cost more); and
+//  3. the product V·ψ(V) is non-decreasing in V — ψ may not decay faster
+//     than c/V.
+//
+// Sufficiency of (3) for the averaging attack with V_i ≥ V: each
+// purchased item satisfies ψ(V_i) ≥ ψ(V)·V/V_i, so the attack cost is
+// Σψ(V_i) ≥ ψ(V)·V·Σ(1/V_i) ≥ ψ(V)·V·m²/ΣV_i ≥ ψ(V) by AM–HM and
+// ΣV_i ≤ m²V. Necessity: wherever the product strictly decreases over
+// [V, mV], buying m answers at variance mV undercuts ψ(V).
+//
+// Transcription note: the published statement of Theorem 4.2 carries the
+// relative-difference inequalities with ambiguous orientation (its
+// conditions 2 and 3, read literally, contradict the paper's own
+// Example 4.1 and its sufficiency proof, which both require price to grow
+// at least as fast as 1/V as variance shrinks). This package implements
+// the orientation consistent with the attack model and the proofs; the
+// canonical family below contains ψ(V) = c/V, the boundary case the paper
+// builds its construction around.
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"privrange/internal/estimator"
+)
+
+// VarianceModel maps an accuracy specification to the variance of the
+// answer the broker sells at that specification (Lemma 4.1 requires price
+// to factor through this quantity).
+type VarianceModel interface {
+	// Variance returns V(α, δ) > 0.
+	Variance(acc estimator.Accuracy) (float64, error)
+}
+
+// ChebyshevModel derives V(α, δ) from the accuracy contract itself: an
+// (α, δ) guarantee corresponds via Chebyshev's inequality to a variance of
+//
+//	V(α, δ) = (α·n)² · (1 − δ).
+//
+// It is increasing in α and decreasing in δ, the monotonicity §IV assumes.
+type ChebyshevModel struct {
+	// N is the dataset size |D| the answers are computed over.
+	N int
+}
+
+var _ VarianceModel = ChebyshevModel{}
+
+// Variance implements VarianceModel.
+func (m ChebyshevModel) Variance(acc estimator.Accuracy) (float64, error) {
+	if err := acc.Validate(); err != nil {
+		return 0, err
+	}
+	if m.N < 1 {
+		return 0, fmt.Errorf("pricing: dataset size %d < 1", m.N)
+	}
+	t := acc.Alpha * float64(m.N)
+	return t * t * (1 - acc.Delta), nil
+}
+
+// Function prices an answer by its variance: π = ψ(V).
+type Function interface {
+	// Price returns ψ(V) for variance v > 0.
+	Price(v float64) (float64, error)
+	// Name identifies the function in receipts and experiment output.
+	Name() string
+}
+
+func checkVariance(v float64) error {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("pricing: variance %v must be positive and finite", v)
+	}
+	return nil
+}
+
+// InverseVariance is the arbitrage-neutral boundary ψ(V) = C/V: averaging
+// m purchases costs exactly the direct price.
+type InverseVariance struct {
+	// C scales the tariff; it is the constant product price·variance.
+	C float64
+}
+
+var _ Function = InverseVariance{}
+
+// Price implements Function.
+func (f InverseVariance) Price(v float64) (float64, error) {
+	if err := checkVariance(v); err != nil {
+		return 0, err
+	}
+	if f.C <= 0 {
+		return 0, fmt.Errorf("pricing: tariff constant %v must be positive", f.C)
+	}
+	return f.C / v, nil
+}
+
+// Name implements Function.
+func (f InverseVariance) Name() string { return "inverse-variance" }
+
+// BaseFeePlusInverse is ψ(V) = Base + C/V: a per-query base fee on top of
+// the neutral tariff. The product V·ψ(V) = Base·V + C strictly increases,
+// so every multi-purchase strategy strictly overpays — the paper's
+// recommended construction region.
+type BaseFeePlusInverse struct {
+	Base float64
+	C    float64
+}
+
+var _ Function = BaseFeePlusInverse{}
+
+// Price implements Function.
+func (f BaseFeePlusInverse) Price(v float64) (float64, error) {
+	if err := checkVariance(v); err != nil {
+		return 0, err
+	}
+	if f.Base < 0 || f.C <= 0 {
+		return 0, fmt.Errorf("pricing: invalid tariff base=%v c=%v", f.Base, f.C)
+	}
+	return f.Base + f.C/v, nil
+}
+
+// Name implements Function.
+func (f BaseFeePlusInverse) Name() string { return "base-fee-plus-inverse" }
+
+// SqrtBlend is ψ(V) = C/V + D/√V. Product = C + D·√V, non-decreasing, so
+// it is arbitrage-avoiding; it decays toward the neutral tariff for small
+// variances and charges a premium for mid-range accuracy.
+type SqrtBlend struct {
+	C float64
+	D float64
+}
+
+var _ Function = SqrtBlend{}
+
+// Price implements Function.
+func (f SqrtBlend) Price(v float64) (float64, error) {
+	if err := checkVariance(v); err != nil {
+		return 0, err
+	}
+	if f.C <= 0 || f.D < 0 {
+		return 0, fmt.Errorf("pricing: invalid tariff c=%v d=%v", f.C, f.D)
+	}
+	return f.C/v + f.D/math.Sqrt(v), nil
+}
+
+// Name implements Function.
+func (f SqrtBlend) Name() string { return "sqrt-blend" }
+
+// UnsafeSteep is ψ(V) = C/V², a deliberately broken tariff whose price
+// falls faster than 1/V. It exists so tests, examples and the arbitrage
+// experiments can demonstrate a working attack; never deploy it.
+type UnsafeSteep struct {
+	C float64
+}
+
+var _ Function = UnsafeSteep{}
+
+// Price implements Function.
+func (f UnsafeSteep) Price(v float64) (float64, error) {
+	if err := checkVariance(v); err != nil {
+		return 0, err
+	}
+	if f.C <= 0 {
+		return 0, fmt.Errorf("pricing: tariff constant %v must be positive", f.C)
+	}
+	return f.C / (v * v), nil
+}
+
+// Name implements Function.
+func (f UnsafeSteep) Name() string { return "unsafe-steep" }
+
+// ErrArbitrage reports that a pricing function admits an arbitrage
+// strategy.
+var ErrArbitrage = errors.New("pricing: arbitrage opportunity")
+
+// Check numerically verifies the two variance-domain conditions of
+// Theorem 4.2 for ψ over the variance interval [vMin, vMax] using a
+// geometric grid of the given size: ψ non-increasing and V·ψ(V)
+// non-decreasing. It returns a wrapped ErrArbitrage naming the first
+// violated condition. Condition 1 (price factors through variance) holds
+// by construction for any Function.
+func Check(f Function, vMin, vMax float64, gridSize int) error {
+	if err := checkVariance(vMin); err != nil {
+		return err
+	}
+	if err := checkVariance(vMax); err != nil {
+		return err
+	}
+	if vMin >= vMax {
+		return fmt.Errorf("pricing: empty variance interval [%v, %v]", vMin, vMax)
+	}
+	if gridSize < 2 {
+		return fmt.Errorf("pricing: grid size %d < 2", gridSize)
+	}
+	ratio := math.Pow(vMax/vMin, 1/float64(gridSize-1))
+	const tol = 1e-9
+	prevV := vMin
+	prevP, err := f.Price(vMin)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < gridSize; i++ {
+		v := vMin * math.Pow(ratio, float64(i))
+		price, err := f.Price(v)
+		if err != nil {
+			return err
+		}
+		if price > prevP*(1+tol) {
+			return fmt.Errorf("%w: %s price increases with variance at V=%v (%v -> %v)",
+				ErrArbitrage, f.Name(), v, prevP, price)
+		}
+		if v*price < prevV*prevP*(1-tol) {
+			return fmt.Errorf("%w: %s product V·ψ(V) decreases at V=%v (%v -> %v): price decays faster than 1/V",
+				ErrArbitrage, f.Name(), v, prevV*prevP, v*price)
+		}
+		prevV, prevP = v, price
+	}
+	return nil
+}

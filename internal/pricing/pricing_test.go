@@ -1,0 +1,368 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privrange/internal/estimator"
+)
+
+func TestChebyshevModel(t *testing.T) {
+	t.Parallel()
+	m := ChebyshevModel{N: 1000}
+	v, err := m.Variance(estimator.Accuracy{Alpha: 0.1, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 * 100 * 0.5 // (0.1·1000)²·(1−0.5)
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", v, want)
+	}
+	if _, err := m.Variance(estimator.Accuracy{Alpha: 0, Delta: 0.5}); err == nil {
+		t.Error("invalid accuracy should fail")
+	}
+	if _, err := (ChebyshevModel{N: 0}).Variance(estimator.Accuracy{Alpha: 0.1, Delta: 0.5}); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestChebyshevModelMonotone(t *testing.T) {
+	t.Parallel()
+	m := ChebyshevModel{N: 17568}
+	f := func(aRaw, dRaw, daRaw, ddRaw float64) bool {
+		a := 0.05 + math.Mod(math.Abs(aRaw), 0.4)
+		d := 0.1 + math.Mod(math.Abs(dRaw), 0.7)
+		da := math.Mod(math.Abs(daRaw), 0.3)
+		dd := math.Mod(math.Abs(ddRaw), 0.15)
+		v0, err := m.Variance(estimator.Accuracy{Alpha: a, Delta: d})
+		if err != nil {
+			return false
+		}
+		vA, err := m.Variance(estimator.Accuracy{Alpha: a + da, Delta: d})
+		if err != nil {
+			return false
+		}
+		vD, err := m.Variance(estimator.Accuracy{Alpha: a, Delta: d + dd})
+		if err != nil {
+			return false
+		}
+		return vA >= v0 && vD <= v0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriceFunctions(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		f    Function
+		v    float64
+		want float64
+	}{
+		{name: "inverse", f: InverseVariance{C: 100}, v: 4, want: 25},
+		{name: "base fee", f: BaseFeePlusInverse{Base: 2, C: 100}, v: 4, want: 27},
+		{name: "sqrt blend", f: SqrtBlend{C: 100, D: 10}, v: 4, want: 30},
+		{name: "unsafe", f: UnsafeSteep{C: 100}, v: 4, want: 6.25},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := tc.f.Price(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Price(%v) = %v, want %v", tc.v, got, tc.want)
+			}
+			if tc.f.Name() == "" {
+				t.Error("empty Name")
+			}
+		})
+	}
+}
+
+func TestPriceFunctionValidation(t *testing.T) {
+	t.Parallel()
+	fns := []Function{
+		InverseVariance{C: 1},
+		BaseFeePlusInverse{Base: 1, C: 1},
+		SqrtBlend{C: 1, D: 1},
+		UnsafeSteep{C: 1},
+	}
+	for _, f := range fns {
+		for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+			if _, err := f.Price(bad); err == nil {
+				t.Errorf("%s.Price(%v) should fail", f.Name(), bad)
+			}
+		}
+	}
+	if _, err := (InverseVariance{C: 0}).Price(1); err == nil {
+		t.Error("zero tariff constant should fail")
+	}
+	if _, err := (BaseFeePlusInverse{Base: -1, C: 1}).Price(1); err == nil {
+		t.Error("negative base should fail")
+	}
+	if _, err := (SqrtBlend{C: 1, D: -1}).Price(1); err == nil {
+		t.Error("negative blend should fail")
+	}
+	if _, err := (UnsafeSteep{C: -1}).Price(1); err == nil {
+		t.Error("negative constant should fail")
+	}
+}
+
+func TestCheckAcceptsSafeTariffs(t *testing.T) {
+	t.Parallel()
+	safe := []Function{
+		InverseVariance{C: 50},
+		BaseFeePlusInverse{Base: 1, C: 50},
+		SqrtBlend{C: 50, D: 3},
+	}
+	for _, f := range safe {
+		if err := Check(f, 1, 1e8, 2000); err != nil {
+			t.Errorf("%s should pass Check: %v", f.Name(), err)
+		}
+	}
+}
+
+func TestCheckRejectsUnsafeTariff(t *testing.T) {
+	t.Parallel()
+	err := Check(UnsafeSteep{C: 50}, 1, 1e8, 2000)
+	if !errors.Is(err, ErrArbitrage) {
+		t.Errorf("unsafe tariff should fail Check with ErrArbitrage, got %v", err)
+	}
+}
+
+type increasingTariff struct{}
+
+func (increasingTariff) Price(v float64) (float64, error) { return v, nil }
+func (increasingTariff) Name() string                     { return "increasing" }
+
+func TestCheckRejectsIncreasingPrice(t *testing.T) {
+	t.Parallel()
+	if err := Check(increasingTariff{}, 1, 100, 50); !errors.Is(err, ErrArbitrage) {
+		t.Errorf("price increasing in variance should fail, got %v", err)
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	t.Parallel()
+	f := InverseVariance{C: 1}
+	if err := Check(f, 0, 10, 10); err == nil {
+		t.Error("vMin=0 should fail")
+	}
+	if err := Check(f, 10, 1, 10); err == nil {
+		t.Error("vMin>=vMax should fail")
+	}
+	if err := Check(f, 1, 10, 1); err == nil {
+		t.Error("grid<2 should fail")
+	}
+}
+
+func TestAdversaryFindsArbitrageOnUnsafeTariff(t *testing.T) {
+	t.Parallel()
+	adv := Adversary{Model: ChebyshevModel{N: 17568}}
+	target := estimator.Accuracy{Alpha: 0.05, Delta: 0.8}
+	report, err := adv.Attack(UnsafeSteep{C: 1e9}, target, DefaultMenu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Arbitrage() {
+		t.Fatalf("unsafe tariff should be attackable; report %+v", report)
+	}
+	if report.Best == nil || report.Best.Copies < 2 {
+		t.Errorf("attack should average multiple copies, got %+v", report.Best)
+	}
+	if report.Best.AchievedVariance > report.TargetVariance {
+		t.Error("winning strategy must meet the target variance")
+	}
+}
+
+func TestAdversaryFailsAgainstSafeTariffs(t *testing.T) {
+	t.Parallel()
+	adv := Adversary{Model: ChebyshevModel{N: 17568}}
+	targets := []estimator.Accuracy{
+		{Alpha: 0.05, Delta: 0.8},
+		{Alpha: 0.1, Delta: 0.6},
+		{Alpha: 0.2, Delta: 0.9},
+	}
+	safe := []Function{
+		InverseVariance{C: 1e9},
+		BaseFeePlusInverse{Base: 5, C: 1e9},
+		SqrtBlend{C: 1e9, D: 100},
+	}
+	for _, f := range safe {
+		for _, target := range targets {
+			report, err := adv.Attack(f, target, DefaultMenu())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Arbitrage() {
+				t.Errorf("%s admits arbitrage at %+v: ratio %v with %+v",
+					f.Name(), target, report.CostRatio, report.Best)
+			}
+		}
+	}
+}
+
+func TestAdversaryNeutralTariffTiesExactly(t *testing.T) {
+	t.Parallel()
+	adv := Adversary{Model: ChebyshevModel{N: 17568}}
+	target := estimator.Accuracy{Alpha: 0.05, Delta: 0.8}
+	report, err := adv.Attack(InverseVariance{C: 1e9}, target, DefaultMenu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For ψ = c/V every exact-variance strategy costs exactly the direct
+	// price; with a discrete menu the best ratio is ≥ 1.
+	if report.Best != nil && report.CostRatio < 1-1e-9 {
+		t.Errorf("neutral tariff should never be beaten, ratio %v", report.CostRatio)
+	}
+}
+
+func TestAdversaryValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (Adversary{}).Attack(InverseVariance{C: 1}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5}, nil); err == nil {
+		t.Error("missing model should fail")
+	}
+	adv := Adversary{Model: ChebyshevModel{N: 100}}
+	if _, err := adv.Attack(InverseVariance{C: 1}, estimator.Accuracy{Alpha: 0, Delta: 0.5}, nil); err == nil {
+		t.Error("bad target should fail")
+	}
+	if _, err := adv.Attack(InverseVariance{C: 1}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5},
+		[]estimator.Accuracy{{Alpha: 2, Delta: 0.5}}); err == nil {
+		t.Error("bad menu item should fail")
+	}
+}
+
+func TestAdversaryIgnoresNonWorseItems(t *testing.T) {
+	t.Parallel()
+	adv := Adversary{Model: ChebyshevModel{N: 1000}}
+	target := estimator.Accuracy{Alpha: 0.2, Delta: 0.5}
+	// Menu contains only items at least as good as the target; the attack
+	// model (Definition 2.3) forbids buying them.
+	menu := []estimator.Accuracy{
+		{Alpha: 0.1, Delta: 0.6},
+		{Alpha: 0.2, Delta: 0.5},
+		{Alpha: 0.1, Delta: 0.5},
+		{Alpha: 0.3, Delta: 0.5}, // worse alpha but equal delta: excluded too
+	}
+	report, err := adv.Attack(UnsafeSteep{C: 1e6}, target, menu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best != nil {
+		t.Errorf("no strictly-worse items available, but found strategy %+v", report.Best)
+	}
+}
+
+// TestProductConditionIsTight: a tariff that satisfies the product
+// condition can never be beaten by any averaging strategy over any menu —
+// a randomized cross-check of the sufficiency proof.
+func TestProductConditionIsTight(t *testing.T) {
+	t.Parallel()
+	model := ChebyshevModel{N: 17568}
+	adv := Adversary{Model: model, MaxCopies: 128}
+	menu := DefaultMenu()
+	f := func(baseRaw, cRaw, aRaw, dRaw float64) bool {
+		base := math.Mod(math.Abs(baseRaw), 10)
+		c := 1 + math.Mod(math.Abs(cRaw), 1e10)
+		tariff := BaseFeePlusInverse{Base: base, C: c}
+		target := estimator.Accuracy{
+			Alpha: 0.03 + math.Mod(math.Abs(aRaw), 0.3),
+			Delta: 0.3 + math.Mod(math.Abs(dRaw), 0.65),
+		}
+		report, err := adv.Attack(tariff, target, menu)
+		if err != nil {
+			return false
+		}
+		return !report.Arbitrage()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultMenuWellFormed(t *testing.T) {
+	t.Parallel()
+	menu := DefaultMenu()
+	if len(menu) < 50 {
+		t.Fatalf("menu too small: %d", len(menu))
+	}
+	for _, item := range menu {
+		if err := item.Validate(); err != nil {
+			t.Errorf("menu item %+v invalid: %v", item, err)
+		}
+	}
+}
+
+func TestWeightedAttackStillFailsAgainstSafeTariffs(t *testing.T) {
+	t.Parallel()
+	adv := Adversary{Model: ChebyshevModel{N: 17568}, MaxCopies: 256}
+	menu := DefaultMenu()
+	safe := []Function{
+		InverseVariance{C: 1e9},
+		BaseFeePlusInverse{Base: 3, C: 1e9},
+		SqrtBlend{C: 1e9, D: 50},
+	}
+	targets := []estimator.Accuracy{
+		{Alpha: 0.05, Delta: 0.8},
+		{Alpha: 0.1, Delta: 0.6},
+	}
+	for _, f := range safe {
+		for _, target := range targets {
+			report, err := adv.AttackWeighted(f, target, menu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Arbitrage() {
+				t.Errorf("%s beaten by weighted averaging at %+v: ratio %v",
+					f.Name(), target, report.CostRatio)
+			}
+		}
+	}
+}
+
+func TestWeightedAttackDominatesPlainOnUnsafeTariff(t *testing.T) {
+	t.Parallel()
+	adv := Adversary{Model: ChebyshevModel{N: 17568}, MaxCopies: 256}
+	menu := DefaultMenu()
+	target := estimator.Accuracy{Alpha: 0.05, Delta: 0.8}
+	tariff := UnsafeSteep{C: 1e16}
+	plain, err := adv.Attack(tariff, target, menu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := adv.AttackWeighted(tariff, target, menu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weighted.Arbitrage() {
+		t.Fatal("weighted attack should beat the unsafe tariff")
+	}
+	// Inverse-variance weighting is at least as strong as plain
+	// averaging: cost ratio no worse.
+	if plain.Best != nil && weighted.CostRatio > plain.CostRatio+1e-9 {
+		t.Errorf("weighted ratio %v should not exceed plain %v", weighted.CostRatio, plain.CostRatio)
+	}
+	// And the achieved variance must actually meet the target.
+	if weighted.Best.AchievedVariance > weighted.TargetVariance {
+		t.Errorf("strategy variance %v misses target %v",
+			weighted.Best.AchievedVariance, weighted.TargetVariance)
+	}
+}
+
+func TestAttackWeightedValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (Adversary{}).AttackWeighted(InverseVariance{C: 1}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5}, nil); err == nil {
+		t.Error("missing model should fail")
+	}
+	adv := Adversary{Model: ChebyshevModel{N: 100}}
+	if _, err := adv.AttackWeighted(InverseVariance{C: 1}, estimator.Accuracy{Alpha: 0, Delta: 0.5}, nil); err == nil {
+		t.Error("bad target should fail")
+	}
+}

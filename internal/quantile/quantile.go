@@ -1,0 +1,213 @@
+// Package quantile estimates quantiles of the distributed dataset from
+// the very same rank-annotated samples the range-counting pipeline
+// collects — no extra communication. This is the companion aggregate the
+// paper builds on (its reference [6], "Approximate aggregation for
+// tracking quantiles and range countings in wireless sensor networks"),
+// implemented over this repository's sampling substrate.
+//
+// Core quantity: the global rank-below-or-equal R(v) = Σ_i |{x ∈ D_i :
+// x ≤ v}|. Per node, the sampled predecessor-or-equal of v at rank ρ
+// leaves a truncated-geometric gap to the true local rank, so
+// ρ + (1/p − 1) is an unbiased local estimate (0 when no sample lies at
+// or below v) — the same boundary algebra as the RankCounting estimator,
+// one-sided. A monotone search over sampled values then inverts R̂ to
+// answer quantile queries, and the exponential mechanism releases a
+// differentially-private quantile over a value grid.
+package quantile
+
+import (
+	"fmt"
+	"sort"
+
+	"privrange/internal/dp"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// Estimator answers rank and quantile queries over per-node sample sets
+// drawn at rate P.
+type Estimator struct {
+	// P is the Bernoulli sampling rate the sets were drawn with.
+	P float64
+}
+
+func (e Estimator) validate(sets []*sampling.SampleSet) error {
+	if e.P <= 0 || e.P > 1 {
+		return fmt.Errorf("quantile: sampling probability %v outside (0, 1]", e.P)
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("quantile: no sample sets")
+	}
+	for i, set := range sets {
+		if set == nil {
+			return fmt.Errorf("quantile: nil sample set for node %d", i)
+		}
+	}
+	return nil
+}
+
+// RankLE estimates R(v) = |{x ∈ D : x ≤ v}|, unbiasedly.
+func (e Estimator) RankLE(sets []*sampling.SampleSet, v float64) (float64, error) {
+	if err := e.validate(sets); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, set := range sets {
+		total += e.rankLENode(set, v)
+	}
+	return total, nil
+}
+
+func (e Estimator) rankLENode(set *sampling.SampleSet, v float64) float64 {
+	// Largest sample with value ≤ v.
+	idx := sort.Search(len(set.Samples), func(i int) bool {
+		return set.Samples[i].Value > v
+	})
+	if idx == 0 {
+		return 0
+	}
+	return float64(set.Samples[idx-1].Rank) + 1/e.P - 1
+}
+
+// RankLT estimates |{x ∈ D : x < v}|, the strict variant of RankLE;
+// histogram building uses it to count half-open bands exactly.
+func (e Estimator) RankLT(sets []*sampling.SampleSet, v float64) (float64, error) {
+	if err := e.validate(sets); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, set := range sets {
+		pred, ok := set.PredecessorStrict(v)
+		if !ok {
+			continue
+		}
+		total += float64(pred.Rank) + 1/e.P - 1
+	}
+	return total, nil
+}
+
+// totalN sums the per-node dataset sizes.
+func totalN(sets []*sampling.SampleSet) int {
+	n := 0
+	for _, set := range sets {
+		n += set.N
+	}
+	return n
+}
+
+// mergedValues returns the sorted distinct sampled values across nodes —
+// the candidate set every quantile search walks.
+func mergedValues(sets []*sampling.SampleSet) []float64 {
+	var out []float64
+	for _, set := range sets {
+		for _, s := range set.Samples {
+			out = append(out, s.Value)
+		}
+	}
+	sort.Float64s(out)
+	// Deduplicate in place.
+	dst := 0
+	for i, v := range out {
+		if i == 0 || v != out[dst-1] {
+			out[dst] = v
+			dst++
+		}
+	}
+	return out[:dst]
+}
+
+// Quantile estimates the q-quantile of D (0 < q < 1): the smallest
+// sampled value whose estimated global rank reaches q·n. It returns an
+// error when q is out of range or no samples exist.
+func (e Estimator) Quantile(sets []*sampling.SampleSet, q float64) (float64, error) {
+	if err := e.validate(sets); err != nil {
+		return 0, err
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("quantile: q %v outside (0, 1)", q)
+	}
+	values := mergedValues(sets)
+	if len(values) == 0 {
+		return 0, fmt.Errorf("quantile: no samples collected")
+	}
+	target := q * float64(totalN(sets))
+	// R̂ is monotone non-decreasing in v, so binary search applies.
+	idx := sort.Search(len(values), func(i int) bool {
+		r, err := e.RankLE(sets, values[i])
+		return err == nil && r >= target
+	})
+	if idx == len(values) {
+		idx = len(values) - 1
+	}
+	return values[idx], nil
+}
+
+// PrivateQuantile releases an ε-differentially-private q-quantile using
+// the exponential mechanism over the sampled candidate values with
+// utility u(v) = −|R̂(v) − q·n|. The utility's sensitivity under the
+// sampled estimator is its expected per-record influence 1/p (the same
+// expected-sensitivity convention the paper uses for its Laplace noise).
+func (e Estimator) PrivateQuantile(sets []*sampling.SampleSet, q, epsilon float64, rng *stats.RNG) (float64, error) {
+	if err := e.validate(sets); err != nil {
+		return 0, err
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("quantile: q %v outside (0, 1)", q)
+	}
+	values := mergedValues(sets)
+	if len(values) == 0 {
+		return 0, fmt.Errorf("quantile: no samples collected")
+	}
+	target := q * float64(totalN(sets))
+	utilities := make([]float64, len(values))
+	for i, v := range values {
+		r, err := e.RankLE(sets, v)
+		if err != nil {
+			return 0, err
+		}
+		diff := r - target
+		if diff < 0 {
+			diff = -diff
+		}
+		utilities[i] = -diff
+	}
+	mech, err := dp.NewExponentialMechanism(epsilon, 1/e.P)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := mech.Select(utilities, rng)
+	if err != nil {
+		return 0, err
+	}
+	return values[idx], nil
+}
+
+// Summary reports a batch of common quantiles in one pass.
+type Summary struct {
+	Median   float64
+	P25, P75 float64
+	P05, P95 float64
+}
+
+// Summarize estimates the five standard summary quantiles.
+func (e Estimator) Summarize(sets []*sampling.SampleSet) (Summary, error) {
+	var s Summary
+	targets := []struct {
+		q   float64
+		dst *float64
+	}{
+		{q: 0.05, dst: &s.P05},
+		{q: 0.25, dst: &s.P25},
+		{q: 0.5, dst: &s.Median},
+		{q: 0.75, dst: &s.P75},
+		{q: 0.95, dst: &s.P95},
+	}
+	for _, t := range targets {
+		v, err := e.Quantile(sets, t.q)
+		if err != nil {
+			return Summary{}, err
+		}
+		*t.dst = v
+	}
+	return s, nil
+}

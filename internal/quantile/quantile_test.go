@@ -1,0 +1,310 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/dp"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// drawSets partitions a series and samples each node at rate p.
+func drawSets(t *testing.T, series *dataset.Series, k int, p float64, seed int64) []*sampling.SampleSet {
+	t.Helper()
+	parts, err := series.Partition(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := stats.NewRNG(seed)
+	sets := make([]*sampling.SampleSet, k)
+	for i, part := range parts {
+		cp := make([]float64, len(part))
+		copy(cp, part)
+		sort.Float64s(cp)
+		set, err := sampling.Draw(cp, p, root.Child(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// trueRankLE counts |{x <= v}| exactly.
+func trueRankLE(series *dataset.Series, v float64) int {
+	c := 0
+	for _, x := range series.Values {
+		if x <= v {
+			c++
+		}
+	}
+	return c
+}
+
+// trueQuantile returns the exact q-quantile (lower value convention).
+func trueQuantile(series *dataset.Series, q float64) float64 {
+	sorted := make([]float64, len(series.Values))
+	copy(sorted, series.Values)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	t.Parallel()
+	e := Estimator{P: 0}
+	if _, err := e.RankLE(nil, 1); err == nil {
+		t.Error("p=0 should fail")
+	}
+	e = Estimator{P: 0.5}
+	if _, err := e.RankLE(nil, 1); err == nil {
+		t.Error("no sets should fail")
+	}
+	if _, err := e.RankLE([]*sampling.SampleSet{nil}, 1); err == nil {
+		t.Error("nil set should fail")
+	}
+	sets := []*sampling.SampleSet{{N: 5}}
+	if _, err := e.Quantile(sets, 0); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if _, err := e.Quantile(sets, 1); err == nil {
+		t.Error("q=1 should fail")
+	}
+	if _, err := e.Quantile(sets, 0.5); err == nil {
+		t.Error("empty samples should fail")
+	}
+	if _, err := e.PrivateQuantile(sets, 0.5, 1, stats.NewRNG(1)); err == nil {
+		t.Error("private quantile over empty samples should fail")
+	}
+}
+
+func TestRankLEExactAtFullSampling(t *testing.T) {
+	t.Parallel()
+	values := []float64{1, 2, 2, 5, 9}
+	set, err := sampling.Draw(values, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Estimator{P: 1}
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{v: 0, want: 0},
+		{v: 1, want: 1},
+		{v: 2, want: 3},
+		{v: 4, want: 3},
+		{v: 9, want: 5},
+		{v: 100, want: 5},
+	}
+	for _, tc := range cases {
+		got, err := e.RankLE([]*sampling.SampleSet{set}, tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("RankLE(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestRankLEUnbiased(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 7, Records: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := make([]float64, len(series.Values))
+	copy(sorted, series.Values)
+	sort.Float64s(sorted)
+	const (
+		p      = 0.06
+		trials = 4000
+		probe  = 70.0
+	)
+	truth := float64(trueRankLE(series, probe))
+	e := Estimator{P: p}
+	root := stats.NewRNG(9)
+	var errs stats.Running
+	for trial := 0; trial < trials; trial++ {
+		set, err := sampling.Draw(sorted, p, root.Child(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.RankLE([]*sampling.SampleSet{set}, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs.Add(got - truth)
+	}
+	if se := errs.StdErr(); math.Abs(errs.Mean()) > 4*se {
+		t.Errorf("rank estimate biased: mean error %v (4 SE = %v)", errs.Mean(), 4*se)
+	}
+	// One-sided boundary: variance ≤ (1−p)/p² per node, comfortably
+	// under the two-sided 8/p² bound.
+	if bound := 8 / (p * p); errs.Variance() > bound {
+		t.Errorf("variance %v above bound %v", errs.Variance(), bound)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := drawSets(t, series, 10, 0.2, 11)
+	e := Estimator{P: 0.2}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got, err := e.Quantile(sets, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rank-space check. Values are integer-discretized, so a single
+		// value owns a whole rank interval [rankLT+1, rankLE]; the target
+		// rank must fall within 2% of n of that interval.
+		rankLE := float64(trueRankLE(series, got))
+		rankLT := float64(trueRankLE(series, got-0.5))
+		target := q * float64(series.Len())
+		tol := 0.02 * float64(series.Len())
+		if target > rankLE+tol || target < rankLT-tol {
+			t.Errorf("q=%v: returned value %v covers ranks (%v, %v], target %v", q, got, rankLT, rankLE, target)
+		}
+	}
+}
+
+func TestSummarizeOrdered(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.CarbonMonoxide, dataset.GenerateConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := drawSets(t, series, 8, 0.25, 13)
+	s, err := Estimator{P: 0.25}.Summarize(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.P05 <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.P95) {
+		t.Errorf("summary quantiles out of order: %+v", s)
+	}
+	if med := trueQuantile(series, 0.5); math.Abs(s.Median-med) > 10 {
+		t.Errorf("median %v far from true %v", s.Median, med)
+	}
+}
+
+func TestPrivateQuantileAccuracy(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.NitrogenDioxide, dataset.GenerateConfig{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := drawSets(t, series, 10, 0.3, 19)
+	e := Estimator{P: 0.3}
+	rng := stats.NewRNG(21)
+	const q = 0.5
+	target := q * float64(series.Len())
+	// With a healthy budget the exponential mechanism should stay near
+	// the target rank in the vast majority of draws.
+	misses := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		v, err := e.PrivateQuantile(sets, q, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRank := float64(trueRankLE(series, v)); math.Abs(gotRank-target) > 0.05*float64(series.Len()) {
+			misses++
+		}
+	}
+	if misses > trials/10 {
+		t.Errorf("private median missed the ±5%% rank band %d/%d times", misses, trials)
+	}
+}
+
+func TestPrivateQuantileBudgetMatters(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.SulfurDioxide, dataset.GenerateConfig{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := drawSets(t, series, 10, 0.3, 25)
+	e := Estimator{P: 0.3}
+	spread := func(eps float64, seed int64) float64 {
+		rng := stats.NewRNG(seed)
+		var w stats.Running
+		for i := 0; i < 60; i++ {
+			v, err := e.PrivateQuantile(sets, 0.5, eps, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Add(float64(trueRankLE(series, v)))
+		}
+		return w.StdDev()
+	}
+	tight := spread(5, 1)
+	loose := spread(0.01, 2)
+	if loose <= tight {
+		t.Errorf("smaller budget should spread the selection more: eps=5 sd=%v, eps=0.01 sd=%v", tight, loose)
+	}
+}
+
+func TestExponentialMechanismDistribution(t *testing.T) {
+	t.Parallel()
+	// Direct check on dp.ExponentialMechanism: selection frequencies
+	// should follow softmax(ε·u/2Δ).
+	mech, err := dp.NewExponentialMechanism(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utilities := []float64{0, -1, -3}
+	rng := stats.NewRNG(31)
+	counts := make([]int, len(utilities))
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		idx, err := mech.Select(utilities, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	norm := 0.0
+	want := make([]float64, len(utilities))
+	for i, u := range utilities {
+		want[i] = math.Exp(u)
+		norm += want[i]
+	}
+	for i := range want {
+		want[i] /= norm
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("candidate %d: frequency %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestExponentialMechanismValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := dp.NewExponentialMechanism(0, 1); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	if _, err := dp.NewExponentialMechanism(1, 0); err == nil {
+		t.Error("sensitivity=0 should fail")
+	}
+	mech, err := dp.NewExponentialMechanism(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	if _, err := mech.Select(nil, rng); err == nil {
+		t.Error("empty candidates should fail")
+	}
+	if _, err := mech.Select([]float64{math.NaN()}, rng); err == nil {
+		t.Error("NaN utility should fail")
+	}
+}

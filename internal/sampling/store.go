@@ -1,0 +1,138 @@
+package sampling
+
+import (
+	"fmt"
+
+	"privrange/internal/stats"
+)
+
+// NodeStore is the node-side data store: an order-statistic tree holding
+// the node's full local dataset D_i, plus the bookkeeping needed to grow
+// an existing Bernoulli sample to a higher rate without discarding the
+// samples already shipped (the paper's "collect more samples" path).
+//
+// Top-up rule: a sample drawn at rate p0 is upgraded to rate p1 > p0 by
+// including each previously unsampled instance independently with
+// probability (p1−p0)/(1−p0); inclusion probabilities compose to exactly
+// p1 and remain independent across instances. The top-up is only valid
+// while the underlying data is unchanged — any insert invalidates it and
+// forces a fresh draw.
+type NodeStore struct {
+	tree  *OSTree
+	rng   *stats.RNG
+	id    int
+	rate  float64
+	taken []bool // parallel to the sorted snapshot backing the last draw
+	dirty bool   // data changed since the last draw
+	gen   int    // incremented on every full (non-top-up) draw
+}
+
+// NewNodeStore returns an empty store for node id. Sampling and tree
+// shape are deterministic given seed.
+func NewNodeStore(id int, seed int64) *NodeStore {
+	root := stats.NewRNG(seed)
+	return &NodeStore{
+		tree:  NewOSTree(root.Int63()),
+		rng:   root.Child(int64(id)),
+		id:    id,
+		dirty: true,
+	}
+}
+
+// ID returns the node identifier.
+func (n *NodeStore) ID() int { return n.id }
+
+// Len returns n_i, the size of the local dataset.
+func (n *NodeStore) Len() int { return n.tree.Len() }
+
+// Rate returns the Bernoulli rate of the most recent draw (0 before any
+// draw).
+func (n *NodeStore) Rate() float64 { return n.rate }
+
+// Add inserts one reading into the local dataset. It invalidates any
+// outstanding sample, since ranks shift.
+func (n *NodeStore) Add(v float64) {
+	n.tree.Insert(v)
+	n.dirty = true
+}
+
+// AddAll inserts a batch of readings.
+func (n *NodeStore) AddAll(vs []float64) {
+	for _, v := range vs {
+		n.Add(v)
+	}
+}
+
+// CountRange returns the exact local range count γ(l, u, i) — ground
+// truth for tests and experiment error measurement.
+func (n *NodeStore) CountRange(l, u float64) (int, error) {
+	return n.tree.CountRange(l, u)
+}
+
+// SampleAt returns a rank-annotated Bernoulli sample of the current local
+// dataset at rate p. When the data is unchanged and p is at least the
+// previous rate, the previous sample is topped up in place (the instances
+// already shipped stay in the set); otherwise a fresh draw happens. The
+// returned set is a copy safe to retain.
+func (n *NodeStore) SampleAt(p float64) (*SampleSet, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("sampling: probability %v outside [0, 1]", p)
+	}
+	switch {
+	case n.dirty || p < n.rate || n.taken == nil:
+		n.fullDraw(p)
+	case p > n.rate:
+		n.topUp(p)
+	}
+	n.rate = p
+	return n.currentSet(), nil
+}
+
+func (n *NodeStore) fullDraw(p float64) {
+	size := n.tree.Len()
+	n.taken = make([]bool, size)
+	for j := range n.taken {
+		n.taken[j] = n.rng.Bernoulli(p)
+	}
+	n.dirty = false
+	n.gen++
+}
+
+// Generation identifies the current full draw: it increments whenever the
+// store redraws from scratch (data changed, or the rate dropped) and is
+// stable across top-ups. Consumers use it to decide whether previously
+// shipped samples are still part of the current sample.
+func (n *NodeStore) Generation() int { return n.gen }
+
+func (n *NodeStore) topUp(p float64) {
+	// Pr[include | not yet included] = (p − rate) / (1 − rate).
+	q := (p - n.rate) / (1 - n.rate)
+	for j, already := range n.taken {
+		if !already && n.rng.Bernoulli(q) {
+			n.taken[j] = true
+		}
+	}
+}
+
+func (n *NodeStore) currentSet() *SampleSet {
+	sorted := n.tree.Sorted()
+	set := &SampleSet{N: len(sorted)}
+	for j, took := range n.taken {
+		if took {
+			set.Samples = append(set.Samples, Sample{Value: sorted[j], Rank: j + 1})
+		}
+	}
+	return set
+}
+
+// SampleCount returns how many instances the current sample holds (0
+// before any draw).
+func (n *NodeStore) SampleCount() int {
+	c := 0
+	for _, took := range n.taken {
+		if took {
+			c++
+		}
+	}
+	return c
+}

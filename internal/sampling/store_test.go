@@ -1,0 +1,146 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodeStoreBasic(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(1, 42)
+	if ns.Len() != 0 || ns.SampleCount() != 0 || ns.Rate() != 0 {
+		t.Fatal("new store should be empty")
+	}
+	ns.AddAll([]float64{5, 1, 3, 3, 9})
+	if ns.Len() != 5 {
+		t.Errorf("Len = %d, want 5", ns.Len())
+	}
+	if c, err := ns.CountRange(2, 5); err != nil || c != 3 {
+		t.Errorf("CountRange = %d, %v; want 3", c, err)
+	}
+	set, err := ns.SampleAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Samples) != 5 {
+		t.Errorf("p=1 sample should include everything, got %d", len(set.Samples))
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("sample invalid: %v", err)
+	}
+	if ns.Rate() != 1 {
+		t.Errorf("Rate = %v, want 1", ns.Rate())
+	}
+}
+
+func TestNodeStoreRejectsBadRate(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(1, 1)
+	ns.Add(1)
+	if _, err := ns.SampleAt(-0.5); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := ns.SampleAt(1.5); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+}
+
+func TestNodeStoreTopUpPreservesExistingSamples(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(3, 7)
+	for i := 0; i < 10000; i++ {
+		ns.Add(float64(i))
+	}
+	low, err := ns.SampleAt(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ns.SampleAt(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high.Samples) <= len(low.Samples) {
+		t.Fatalf("top-up did not grow sample: %d -> %d", len(low.Samples), len(high.Samples))
+	}
+	// Every sample from the low draw must survive the top-up (the node
+	// already shipped them; discarding would waste communication).
+	inHigh := make(map[int]bool, len(high.Samples))
+	for _, s := range high.Samples {
+		inHigh[s.Rank] = true
+	}
+	for _, s := range low.Samples {
+		if !inHigh[s.Rank] {
+			t.Fatalf("sample rank %d lost during top-up", s.Rank)
+		}
+	}
+	// Final rate should be ~0.4.
+	rate := float64(len(high.Samples)) / float64(ns.Len())
+	if math.Abs(rate-0.4) > 0.03 {
+		t.Errorf("post-top-up empirical rate = %v, want ~0.4", rate)
+	}
+}
+
+func TestNodeStoreInsertInvalidatesSample(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(4, 9)
+	for i := 0; i < 100; i++ {
+		ns.Add(float64(i))
+	}
+	if _, err := ns.SampleAt(0.5); err != nil {
+		t.Fatal(err)
+	}
+	ns.Add(1000)
+	set, err := ns.SampleAt(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N != 101 {
+		t.Errorf("sample after insert should see new size, got N=%d", set.N)
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("sample invalid after refresh: %v", err)
+	}
+}
+
+func TestNodeStoreLowerRateRedraws(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(5, 11)
+	for i := 0; i < 5000; i++ {
+		ns.Add(float64(i))
+	}
+	if _, err := ns.SampleAt(0.5); err != nil {
+		t.Fatal(err)
+	}
+	set, err := ns.SampleAt(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(len(set.Samples)) / 5000
+	if math.Abs(rate-0.1) > 0.02 {
+		t.Errorf("redraw at lower rate = %v, want ~0.1", rate)
+	}
+}
+
+func TestNodeStoreSameRateIsStable(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(6, 13)
+	for i := 0; i < 1000; i++ {
+		ns.Add(float64(i))
+	}
+	a, err := ns.SampleAt(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ns.SampleAt(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("re-requesting the same rate should not redraw")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("re-requesting the same rate should return the same sample")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the Kolmogorov–Smirnov statistic
+// D_n = sup_x |F_n(x) − F(x)| between the empirical distribution of the
+// samples and the analytic CDF. It returns an error for an empty sample.
+func KSStatistic(samples []float64, cdf func(float64) float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("stats: KS over empty sample")
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		// The empirical CDF jumps from i/n to (i+1)/n at x; check both
+		// sides of the step.
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d, nil
+}
+
+// KSTest reports whether the samples are consistent with the analytic
+// CDF at significance level alpha ∈ (0, 1): it compares D_n against the
+// asymptotic critical value c(α)/√n with c(α) = √(−ln(α/2)/2). It
+// returns the statistic, the critical value, and whether the sample
+// passes (fails to reject).
+func KSTest(samples []float64, cdf func(float64) float64, alpha float64) (stat, critical float64, pass bool, err error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, false, fmt.Errorf("stats: KS significance %v outside (0, 1)", alpha)
+	}
+	stat, err = KSStatistic(samples, cdf)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	critical = math.Sqrt(-math.Log(alpha/2)/2) / math.Sqrt(float64(len(samples)))
+	return stat, critical, stat <= critical, nil
+}

@@ -1,0 +1,449 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{name: "small ints", xs: []float64{1, 2, 3, 4, 5}},
+		{name: "negatives", xs: []float64{-3, 0, 3}},
+		{name: "single", xs: []float64{42}},
+		{name: "constant", xs: []float64{7, 7, 7, 7}},
+		{name: "large magnitude", xs: []float64{1e9, 1e9 + 1, 1e9 + 2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var w Running
+			for _, x := range tc.xs {
+				w.Add(x)
+			}
+			if got, want := w.Mean(), Mean(tc.xs); math.Abs(got-want) > 1e-6 {
+				t.Errorf("Mean = %v, want %v", got, want)
+			}
+			if got, want := w.Variance(), Variance(tc.xs); math.Abs(got-want) > 1e-6 {
+				t.Errorf("Variance = %v, want %v", got, want)
+			}
+			if w.N() != int64(len(tc.xs)) {
+				t.Errorf("N = %d, want %d", w.N(), len(tc.xs))
+			}
+		})
+	}
+}
+
+func TestRunningMinMax(t *testing.T) {
+	t.Parallel()
+	var w Running
+	for _, x := range []float64{3, -1, 7, 2} {
+		w.Add(x)
+	}
+	if w.Min() != -1 {
+		t.Errorf("Min = %v, want -1", w.Min())
+	}
+	if w.Max() != 7 {
+		t.Errorf("Max = %v, want 7", w.Max())
+	}
+}
+
+func TestRunningMergeEquivalentToSequential(t *testing.T) {
+	t.Parallel()
+	// Bound magnitudes so the sequential/merged comparison is not dominated
+	// by float64 overflow on quick's extreme generated values.
+	clamp := func(xs []float64) []float64 {
+		out := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			out = append(out, math.Mod(x, 1e6))
+		}
+		return out
+	}
+	f := func(a, b []float64) bool {
+		a, b = clamp(a), clamp(b)
+		var left, right, merged, all Running
+		for _, x := range a {
+			left.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			right.Add(x)
+			all.Add(x)
+		}
+		merged.Merge(&left)
+		merged.Merge(&right)
+		if merged.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		closeEnough := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+		}
+		return closeEnough(merged.Mean(), all.Mean()) &&
+			closeEnough(merged.Variance(), all.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+	xs := []float64{9, 1, 3, 7, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 0.25, want: 3},
+		{q: 0.5, want: 5},
+		{q: 0.75, want: 7},
+		{q: 1, want: 9},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tc.q, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(nil) should fail")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("Quantile(q<0) should fail")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("Quantile(q>1) should fail")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
+	xs := []float64{5, 1, 4}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name                   string
+		estimate, truth, floor float64
+		want                   float64
+	}{
+		{name: "exact", estimate: 100, truth: 100, floor: 1, want: 0},
+		{name: "ten percent", estimate: 110, truth: 100, floor: 1, want: 0.1},
+		{name: "zero truth uses floor", estimate: 3, truth: 0, floor: 1, want: 3},
+		{name: "negative truth", estimate: -90, truth: -100, floor: 1, want: 0.1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := RelativeError(tc.estimate, tc.truth, tc.floor)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("RelativeError = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	t.Parallel()
+	s, err := SummarizeErrors([]float64{110, 95}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.MaxRel-0.10) > 1e-12 {
+		t.Errorf("MaxRel = %v, want 0.10", s.MaxRel)
+	}
+	if math.Abs(s.MeanRel-0.075) > 1e-12 {
+		t.Errorf("MeanRel = %v, want 0.075", s.MeanRel)
+	}
+	if s.MaxAbs != 10 || s.N != 2 {
+		t.Errorf("MaxAbs=%v N=%v, want 10, 2", s.MaxAbs, s.N)
+	}
+}
+
+func TestSummarizeErrorsRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	if _, err := SummarizeErrors([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := SummarizeErrors(nil, nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+}
+
+func TestChebyshevBounds(t *testing.T) {
+	t.Parallel()
+	if got := ChebyshevTail(4, 4); got != 0.25 {
+		t.Errorf("ChebyshevTail(4,4) = %v, want 0.25", got)
+	}
+	if got := ChebyshevTail(100, 1); got != 1 {
+		t.Errorf("tail should clamp to 1, got %v", got)
+	}
+	if got := ChebyshevTail(1, 0); got != 1 {
+		t.Errorf("t=0 should be vacuous, got %v", got)
+	}
+	if got := ChebyshevConfidence(4, 4); got != 0.75 {
+		t.Errorf("ChebyshevConfidence(4,4) = %v, want 0.75", got)
+	}
+}
+
+func TestLaplaceSamplerMoments(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(7)
+	const scale = 2.5
+	var w Running
+	for i := 0; i < 200000; i++ {
+		w.Add(rng.Laplace(scale))
+	}
+	// Lap(b) has mean 0 and variance 2b².
+	if math.Abs(w.Mean()) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", w.Mean())
+	}
+	wantVar := 2 * scale * scale
+	if math.Abs(w.Variance()-wantVar)/wantVar > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", w.Variance(), wantVar)
+	}
+}
+
+func TestLaplaceEmpiricalCDF(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(99)
+	const scale = 1.0
+	const n = 100000
+	// Pr[|Lap(b)| <= t] = 1 - exp(-t/b).
+	thresholds := []float64{0.5, 1, 2, 4}
+	counts := make([]int, len(thresholds))
+	for i := 0; i < n; i++ {
+		x := math.Abs(rng.Laplace(scale))
+		for j, t := range thresholds {
+			if x <= t {
+				counts[j]++
+			}
+		}
+	}
+	for j, th := range thresholds {
+		got := float64(counts[j]) / n
+		want := 1 - math.Exp(-th/scale)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Pr[|Lap| <= %v] = %v, want %v", th, got, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(3)
+	if rng.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !rng.Bernoulli(1) {
+		t.Error("Bernoulli(1) must be true")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	t.Parallel()
+	a := NewRNG(11)
+	b := NewRNG(11)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should produce identical streams")
+		}
+	}
+}
+
+func TestRNGChildIndependence(t *testing.T) {
+	t.Parallel()
+	parent1 := NewRNG(1)
+	parent2 := NewRNG(2)
+	c1 := parent1.Child(5)
+	c2 := parent2.Child(5)
+	same := true
+	for i := 0; i < 32; i++ {
+		if c1.Float64() != c2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("children of different parents should differ even with the same id")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	t.Parallel()
+	if got := MaxAbs([]float64{-5, 3, 4}); got != 5 {
+		t.Errorf("MaxAbs = %v, want 5", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Errorf("MaxAbs(nil) = %v, want 0", got)
+	}
+}
+
+func TestKSStatisticValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := KSStatistic(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, _, _, err := KSTest([]float64{1}, func(float64) float64 { return 0.5 }, 0); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, _, _, err := KSTest([]float64{1}, func(float64) float64 { return 0.5 }, 1); err == nil {
+		t.Error("alpha=1 should fail")
+	}
+}
+
+func TestKSAcceptsCorrectDistribution(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(101)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = rng.Float64() // uniform [0,1)
+	}
+	_, _, pass, err := KSTest(samples, func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Error("uniform samples should pass against the uniform CDF")
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(103)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = rng.Float64() * 0.8 // squeezed: clearly not uniform [0,1)
+	}
+	_, _, pass, err := KSTest(samples, func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Error("squeezed samples should be rejected against the uniform CDF")
+	}
+}
+
+func TestLaplaceSamplerPassesKS(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(105)
+	const scale = 3.0
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = rng.Laplace(scale)
+	}
+	cdf := func(x float64) float64 {
+		if x < 0 {
+			return 0.5 * math.Exp(x/scale)
+		}
+		return 1 - 0.5*math.Exp(-x/scale)
+	}
+	stat, critical, pass, err := KSTest(samples, cdf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Errorf("Laplace sampler fails KS: D=%v critical=%v", stat, critical)
+	}
+}
+
+func TestRunningString(t *testing.T) {
+	t.Parallel()
+	var w Running
+	w.Add(1)
+	w.Add(3)
+	s := w.String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "mean=2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(201)
+	var w Running
+	for i := 0; i < 100000; i++ {
+		w.Add(rng.Exponential(4))
+	}
+	if math.Abs(w.Mean()-4)/4 > 0.02 {
+		t.Errorf("exponential mean = %v, want ~4", w.Mean())
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(203)
+	perm := rng.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range perm {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", perm)
+		}
+		seen[v] = true
+	}
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,152 @@
+// Package topk estimates the most frequent readings (heavy hitters) of
+// the distributed dataset from the same rank-annotated samples the
+// range-counting pipeline collects, and releases them under ε-DP with an
+// iterative ("peeling") exponential mechanism.
+//
+// Frequency estimation is a point-range special case of RankCounting:
+// the frequency of value v is the range count of [v, v], estimated
+// unbiasedly from the boundary ranks. Candidates are the distinct
+// sampled values — a value absent from every node's sample has expected
+// frequency below ~1/p and cannot be a heavy hitter of interest at the
+// rates the pipeline runs.
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// Hitter is one reported heavy hitter.
+type Hitter struct {
+	// Value is the reading.
+	Value float64
+	// Count is its estimated frequency (unbiased; for private releases
+	// this carries additional Laplace noise).
+	Count float64
+}
+
+// Estimator finds heavy hitters over per-node sample sets drawn at rate
+// P.
+type Estimator struct {
+	// P is the Bernoulli sampling rate the sets were drawn with.
+	P float64
+}
+
+func (e Estimator) validate(sets []*sampling.SampleSet, k int) error {
+	if e.P <= 0 || e.P > 1 {
+		return fmt.Errorf("topk: sampling probability %v outside (0, 1]", e.P)
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("topk: no sample sets")
+	}
+	for i, set := range sets {
+		if set == nil {
+			return fmt.Errorf("topk: nil sample set for node %d", i)
+		}
+	}
+	if k < 1 {
+		return fmt.Errorf("topk: k %d < 1", k)
+	}
+	return nil
+}
+
+// candidates returns the distinct sampled values with their estimated
+// frequencies, descending by frequency (ties broken by value for
+// determinism).
+func (e Estimator) candidates(sets []*sampling.SampleSet) ([]Hitter, error) {
+	distinct := map[float64]bool{}
+	for _, set := range sets {
+		for _, s := range set.Samples {
+			distinct[s.Value] = true
+		}
+	}
+	if len(distinct) == 0 {
+		return nil, fmt.Errorf("topk: no samples collected")
+	}
+	rc := estimator.RankCounting{P: e.P}
+	out := make([]Hitter, 0, len(distinct))
+	for v := range distinct {
+		freq, err := rc.Estimate(sets, estimator.Query{L: v, U: v})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Hitter{Value: v, Count: freq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out, nil
+}
+
+// Top returns the k values with the highest estimated frequencies
+// (fewer when fewer distinct values were sampled). No privacy is spent —
+// this is the broker-internal estimate.
+func (e Estimator) Top(sets []*sampling.SampleSet, k int) ([]Hitter, error) {
+	if err := e.validate(sets, k); err != nil {
+		return nil, err
+	}
+	cands, err := e.candidates(sets)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return cands[:k], nil
+}
+
+// PrivateTop releases k heavy hitters under ε-DP: the budget splits
+// evenly between selection and counts. Selection peels k values with the
+// exponential mechanism (utility = estimated frequency, sensitivity 1/p,
+// per-round budget ε/(2k)); each selected value's count is then released
+// with Lap((1/p)/(ε/(2k))) noise. The composition across rounds is
+// sequential, so the whole release is ε-DP before sampling amplification.
+func (e Estimator) PrivateTop(sets []*sampling.SampleSet, k int, epsilon float64, rng *stats.RNG) ([]Hitter, error) {
+	if err := e.validate(sets, k); err != nil {
+		return nil, err
+	}
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("topk: epsilon %v must be positive", epsilon)
+	}
+	cands, err := e.candidates(sets)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	perRound := epsilon / float64(2*k)
+	selectMech, err := dp.NewExponentialMechanism(perRound, 1/e.P)
+	if err != nil {
+		return nil, err
+	}
+	countMech, err := dp.NewMechanism(perRound, 1/e.P)
+	if err != nil {
+		return nil, err
+	}
+	remaining := append([]Hitter(nil), cands...)
+	out := make([]Hitter, 0, k)
+	for round := 0; round < k; round++ {
+		utilities := make([]float64, len(remaining))
+		for i, c := range remaining {
+			utilities[i] = c.Count
+		}
+		idx, err := selectMech.Select(utilities, rng)
+		if err != nil {
+			return nil, err
+		}
+		chosen := remaining[idx]
+		chosen.Count = countMech.Perturb(chosen.Count, rng)
+		out = append(out, chosen)
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// skewedValues builds a dataset with a known frequency ranking:
+// value 10 appears 4000 times, 20 appears 2000, 30 appears 1000, then a
+// uniform tail over 100..150 (≤60 each).
+func skewedValues() []float64 {
+	var out []float64
+	add := func(v float64, n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, v)
+		}
+	}
+	add(10, 4000)
+	add(20, 2000)
+	add(30, 1000)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 3000; i++ {
+		out = append(out, float64(100+rng.Intn(50)))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func drawSets(t *testing.T, values []float64, k int, p float64, seed int64) []*sampling.SampleSet {
+	t.Helper()
+	root := stats.NewRNG(seed)
+	per := len(values) / k
+	sets := make([]*sampling.SampleSet, k)
+	for i := 0; i < k; i++ {
+		part := values[i*per : (i+1)*per]
+		set, err := sampling.Draw(part, p, root.Child(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	sets := []*sampling.SampleSet{{N: 5}}
+	if _, err := (Estimator{P: 0}).Top(sets, 3); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := (Estimator{P: 0.5}).Top(nil, 3); err == nil {
+		t.Error("no sets should fail")
+	}
+	if _, err := (Estimator{P: 0.5}).Top([]*sampling.SampleSet{nil}, 3); err == nil {
+		t.Error("nil set should fail")
+	}
+	if _, err := (Estimator{P: 0.5}).Top(sets, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := (Estimator{P: 0.5}).Top(sets, 3); err == nil {
+		t.Error("empty samples should fail")
+	}
+	if _, err := (Estimator{P: 0.5}).PrivateTop(sets, 3, 0, stats.NewRNG(1)); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+}
+
+func TestTopExactAtFullSampling(t *testing.T) {
+	t.Parallel()
+	values := skewedValues()
+	sets := drawSets(t, values, 4, 1, 3)
+	top, err := Estimator{P: 1}.Top(sets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30}
+	for i, h := range top {
+		if h.Value != want[i] {
+			t.Fatalf("rank %d = %v, want %v (top: %+v)", i, h.Value, want[i], top)
+		}
+	}
+	// At full sampling the counts are exact.
+	if math.Abs(top[0].Count-4000) > 1e-9 || math.Abs(top[1].Count-2000) > 1e-9 {
+		t.Errorf("counts = %v, %v; want 4000, 2000", top[0].Count, top[1].Count)
+	}
+}
+
+func TestTopRecoversHeavyHittersFromSamples(t *testing.T) {
+	t.Parallel()
+	values := skewedValues()
+	sets := drawSets(t, values, 5, 0.15, 7)
+	top, err := Estimator{P: 0.15}.Top(sets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[float64]bool{}
+	for _, h := range top {
+		got[h.Value] = true
+	}
+	for _, want := range []float64{10, 20, 30} {
+		if !got[want] {
+			t.Errorf("heavy hitter %v missing from %+v", want, top)
+		}
+	}
+	// Frequency estimates within 6 sigma of truth.
+	sigma := math.Sqrt(8 * 5 / (0.15 * 0.15))
+	truths := map[float64]float64{10: 4000, 20: 2000, 30: 1000}
+	for _, h := range top {
+		if math.Abs(h.Count-truths[h.Value]) > 6*sigma {
+			t.Errorf("count for %v = %v, want ~%v", h.Value, h.Count, truths[h.Value])
+		}
+	}
+}
+
+func TestTopKLargerThanCandidates(t *testing.T) {
+	t.Parallel()
+	values := []float64{5, 5, 5, 9, 9}
+	set, err := sampling.Draw(values, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := Estimator{P: 1}.Top([]*sampling.SampleSet{set}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("top = %+v, want 2 hitters", top)
+	}
+}
+
+func TestPrivateTopAccuracy(t *testing.T) {
+	t.Parallel()
+	values := skewedValues()
+	sets := drawSets(t, values, 5, 0.2, 11)
+	e := Estimator{P: 0.2}
+	rng := stats.NewRNG(13)
+	// With a healthy budget the dominant value must virtually always be
+	// reported first.
+	const trials = 30
+	hits := 0
+	for i := 0; i < trials; i++ {
+		top, err := e.PrivateTop(sets, 3, 4.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top) != 3 {
+			t.Fatalf("private top = %+v", top)
+		}
+		if top[0].Value == 10 {
+			hits++
+		}
+		// Released values must be distinct (peeling without replacement).
+		seen := map[float64]bool{}
+		for _, h := range top {
+			if seen[h.Value] {
+				t.Fatalf("duplicate hitter in %+v", top)
+			}
+			seen[h.Value] = true
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("dominant value reported first only %d/%d times", hits, trials)
+	}
+}
+
+func TestPrivateTopBudgetMatters(t *testing.T) {
+	t.Parallel()
+	values := skewedValues()
+	sets := drawSets(t, values, 5, 0.2, 17)
+	e := Estimator{P: 0.2}
+	correct := func(eps float64, seed int64) int {
+		rng := stats.NewRNG(seed)
+		hits := 0
+		for i := 0; i < 40; i++ {
+			top, err := e.PrivateTop(sets, 1, eps, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if top[0].Value == 10 {
+				hits++
+			}
+		}
+		return hits
+	}
+	tight := correct(4.0, 1)
+	loose := correct(0.001, 2)
+	if loose >= tight {
+		t.Errorf("tiny budget should degrade selection: eps=4 hits %d, eps=0.001 hits %d", tight, loose)
+	}
+}

@@ -1,0 +1,39 @@
+package wavelet_test
+
+import (
+	"fmt"
+	"log"
+
+	"privrange/internal/stats"
+	"privrange/internal/wavelet"
+)
+
+// Example builds a one-ε Haar synopsis and answers range counts from the
+// single release.
+func Example() {
+	values := make([]float64, 0, 4096)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 4096; i++ {
+		values = append(values, float64(rng.Intn(256)))
+	}
+	syn, err := wavelet.Build(values, 0, 256, 8, 1.0, stats.NewRNG(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := 0.0
+	for _, v := range values {
+		if v >= 64 && v <= 127 {
+			exact++
+		}
+	}
+	got, err := syn.Count(64, 127)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff := got - exact
+	fmt.Println("within noise bound:", diff*diff < 9*syn.QueryVarianceBound())
+	fmt.Println("budget:", syn.Epsilon())
+	// Output:
+	// within noise bound: true
+	// budget: 1
+}

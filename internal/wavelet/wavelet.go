@@ -1,0 +1,178 @@
+// Package wavelet implements the Haar-wavelet mechanism for
+// differentially-private range counting (in the spirit of Privelet,
+// Xiao, Wang & Gehrke, ICDE 2010) — the second classical baseline next
+// to the dyadic tree (internal/dyadic).
+//
+// The leaf histogram over 2^m cells is Haar-transformed; each
+// coefficient receives Laplace noise calibrated to its depth-dependent
+// sensitivity, and the noisy coefficients are synthesized back into leaf
+// counts. One record touches exactly one coefficient per level, each
+// with sensitivity 1/s_d (s_d = subtree leaf count at depth d), so
+// weighting coordinate d by s_d gives total weighted sensitivity m+1 and
+// per-coefficient noise Lap((m+1)/(ε·s_d)) for ε-DP overall.
+//
+// Like the dyadic tree it pays ε once for unlimited queries; unlike the
+// dyadic tree the reconstruction spreads every coefficient's noise over
+// its whole subtree, which cancels inside contiguous ranges — the
+// per-query variance constant is ~4× smaller at equal depth.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"privrange/internal/dp"
+	"privrange/internal/stats"
+)
+
+// Synopsis is a noisy Haar synopsis of a value distribution over
+// [Lo, Hi): after Build, range sums are answered from the synthesized
+// prefix sums with no further privacy cost.
+type Synopsis struct {
+	lo, hi float64
+	levels int
+	eps    float64
+	// prefix[i] is the noisy count of leaves [0, i); len = leaves+1.
+	prefix []float64
+}
+
+// MaxLevels bounds the domain resolution.
+const MaxLevels = 20
+
+// Build constructs the synopsis with total privacy budget epsilon.
+// Records outside [lo, hi) clip to the edge cells.
+func Build(values []float64, lo, hi float64, levels int, epsilon float64, rng *stats.RNG) (*Synopsis, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("wavelet: empty domain [%v, %v)", lo, hi)
+	}
+	if levels < 1 || levels > MaxLevels {
+		return nil, fmt.Errorf("wavelet: levels %d outside [1, %d]", levels, MaxLevels)
+	}
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("wavelet: epsilon %v must be positive and finite", epsilon)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("wavelet: nil rng")
+	}
+	leaves := 1 << levels
+	width := (hi - lo) / float64(leaves)
+
+	// Exact leaf histogram.
+	leaf := make([]float64, leaves)
+	for _, v := range values {
+		idx := int((v - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= leaves {
+			idx = leaves - 1
+		}
+		leaf[idx]++
+	}
+
+	// Haar analysis: avg[] per node (heap layout, node 1 = root) and the
+	// difference coefficients c[i] = (avg(left) − avg(right))/2.
+	avg := make([]float64, 2*leaves)
+	for i := 0; i < leaves; i++ {
+		avg[leaves+i] = leaf[i]
+	}
+	for i := leaves - 1; i >= 1; i-- {
+		avg[i] = (avg[2*i] + avg[2*i+1]) / 2
+	}
+	coef := make([]float64, leaves) // coef[i] for internal node i ∈ [1, leaves)
+	for i := 1; i < leaves; i++ {
+		coef[i] = (avg[2*i] - avg[2*i+1]) / 2
+	}
+	c0 := avg[1] // overall average
+
+	// Noise: weighted Laplace mechanism. Node i at depth d has subtree
+	// leaf count s = leaves >> d and coefficient sensitivity 1/s; total
+	// weighted sensitivity across the m+1 affected coordinates is m+1.
+	budgetShare := float64(levels + 1)
+	c0Noise, err := dp.NewLaplace(budgetShare / (epsilon * float64(leaves)))
+	if err != nil {
+		return nil, err
+	}
+	c0 += c0Noise.Sample(rng)
+	for i := 1; i < leaves; i++ {
+		depth := bitLen(i) - 1 // node 1 is depth 0
+		s := float64(leaves >> depth)
+		noise, err := dp.NewLaplace(budgetShare / (epsilon * s))
+		if err != nil {
+			return nil, err
+		}
+		coef[i] += noise.Sample(rng)
+	}
+
+	// Synthesis: rebuild noisy leaf values, then prefix sums.
+	avg[1] = c0
+	for i := 1; i < leaves; i++ {
+		avg[2*i] = avg[i] + coef[i]
+		avg[2*i+1] = avg[i] - coef[i]
+	}
+	s := &Synopsis{
+		lo:     lo,
+		hi:     hi,
+		levels: levels,
+		eps:    epsilon,
+		prefix: make([]float64, leaves+1),
+	}
+	for i := 0; i < leaves; i++ {
+		s.prefix[i+1] = s.prefix[i] + avg[leaves+i]
+	}
+	return s, nil
+}
+
+// bitLen returns the position of the highest set bit (1-based).
+func bitLen(x int) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Epsilon returns the total privacy budget the release consumed.
+func (s *Synopsis) Epsilon() float64 { return s.eps }
+
+// Leaves returns the domain resolution.
+func (s *Synopsis) Leaves() int { return 1 << s.levels }
+
+// LeafWidth returns the value width of one cell.
+func (s *Synopsis) LeafWidth() float64 {
+	return (s.hi - s.lo) / float64(s.Leaves())
+}
+
+// Count answers the range query [l, u], snapped outward to cell
+// boundaries. Repeated queries are free and deterministic (noise is
+// baked in at build time).
+func (s *Synopsis) Count(l, u float64) (float64, error) {
+	if l > u {
+		return 0, fmt.Errorf("wavelet: range [%v, %v] has l > u", l, u)
+	}
+	leaves := s.Leaves()
+	width := s.LeafWidth()
+	loLeaf := int(math.Floor((l - s.lo) / width))
+	hiLeaf := int(math.Floor((u - s.lo) / width))
+	if hiLeaf < 0 || loLeaf >= leaves {
+		return 0, nil
+	}
+	if loLeaf < 0 {
+		loLeaf = 0
+	}
+	if hiLeaf >= leaves {
+		hiLeaf = leaves - 1
+	}
+	return s.prefix[hiLeaf+1] - s.prefix[loLeaf], nil
+}
+
+// QueryVarianceBound returns an upper bound on the noise variance of a
+// contiguous range count: interior coefficients cancel, so only ~2
+// partially-overlapped nodes per depth contribute, each at most
+// (s/2)·Lap((m+1)/(ε·s)) — i.e. (m+1)²/(2ε²) variance per node.
+func (s *Synopsis) QueryVarianceBound() float64 {
+	m := float64(s.levels + 1)
+	perNode := m * m / (2 * s.eps * s.eps) * 2 // 2b² with b=(m+1)/(2ε)·... conservative
+	return 2 * m * perNode
+}

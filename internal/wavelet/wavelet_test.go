@@ -1,0 +1,179 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privrange/internal/dataset"
+	"privrange/internal/stats"
+)
+
+func TestBuildValidation(t *testing.T) {
+	t.Parallel()
+	rng := stats.NewRNG(1)
+	cases := []struct {
+		name   string
+		lo, hi float64
+		levels int
+		eps    float64
+		nilRNG bool
+	}{
+		{name: "empty domain", lo: 3, hi: 3, levels: 4, eps: 1},
+		{name: "zero levels", lo: 0, hi: 8, levels: 0, eps: 1},
+		{name: "too deep", lo: 0, hi: 8, levels: MaxLevels + 1, eps: 1},
+		{name: "zero eps", lo: 0, hi: 8, levels: 3, eps: 0},
+		{name: "inf eps", lo: 0, hi: 8, levels: 3, eps: math.Inf(1)},
+		{name: "nil rng", lo: 0, hi: 8, levels: 3, eps: 1, nilRNG: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			r := rng
+			if tc.nilRNG {
+				r = nil
+			}
+			if _, err := Build([]float64{1}, tc.lo, tc.hi, tc.levels, tc.eps, r); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// TestTransformInvertible: with negligible noise, the analysis+synthesis
+// pipeline must reproduce exact counts — the Haar transform is a
+// bijection.
+func TestTransformInvertible(t *testing.T) {
+	t.Parallel()
+	f := func(raw []uint8, loLeaf, span uint8) bool {
+		values := make([]float64, len(raw))
+		for i, b := range raw {
+			values[i] = float64(b % 64)
+		}
+		s, err := Build(values, 0, 64, 6, 1e9, stats.NewRNG(1))
+		if err != nil {
+			return false
+		}
+		l := float64(loLeaf % 64)
+		u := l + float64(span%32)
+		got, err := s.Count(l, u+0.999)
+		if err != nil {
+			return false
+		}
+		exact := 0.0
+		for _, v := range values {
+			if v >= l && v <= u+0.999 {
+				exact++
+			}
+		}
+		return math.Abs(got-exact) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountEdgeCases(t *testing.T) {
+	t.Parallel()
+	s, err := Build([]float64{-5, 3, 200}, 0, 8, 3, 1e9, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clipped records are retained at the edges.
+	total, err := s.Count(0, 7.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-3) > 0.01 {
+		t.Errorf("total = %v, want 3", total)
+	}
+	if got, err := s.Count(50, 60); err != nil || got != 0 {
+		t.Errorf("out of domain = %v, %v", got, err)
+	}
+	if _, err := s.Count(5, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if s.Leaves() != 8 || s.LeafWidth() != 1 || s.Epsilon() != 1e9 {
+		t.Errorf("metadata wrong: %d %v %v", s.Leaves(), s.LeafWidth(), s.Epsilon())
+	}
+}
+
+func TestNoiseUnbiasedAndBounded(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 3, Records: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		eps    = 1.0
+		levels = 8
+		trials = 400
+	)
+	truth, err := series.RangeCount(64, 127.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := stats.NewRNG(5)
+	var errs stats.Running
+	var bound float64
+	for trial := 0; trial < trials; trial++ {
+		s, err := Build(series.Values, 0, 256, levels, eps, root.Child(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound = s.QueryVarianceBound()
+		got, err := s.Count(64, 127.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs.Add(got - float64(truth))
+	}
+	if se := errs.StdErr(); math.Abs(errs.Mean()) > 4*se {
+		t.Errorf("wavelet count biased: mean error %v (4 SE %v)", errs.Mean(), 4*se)
+	}
+	if errs.Variance() > bound {
+		t.Errorf("empirical variance %v above bound %v", errs.Variance(), bound)
+	}
+}
+
+func TestRepeatQueriesDeterministic(t *testing.T) {
+	t.Parallel()
+	s, err := Build([]float64{1, 2, 3}, 0, 8, 3, 0.5, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Count(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Count(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("queries must be deterministic after build")
+	}
+}
+
+// TestClosedEndpointOnBoundary mirrors the dyadic regression: u exactly
+// on a cell boundary must include the records at u.
+func TestClosedEndpointOnBoundary(t *testing.T) {
+	t.Parallel()
+	values := make([]float64, 0, 300)
+	for i := 0; i < 300; i++ {
+		values = append(values, 4)
+	}
+	values = append(values, 1, 2, 3)
+	s, err := Build(values, 0, 8, 3, 1e9, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Count(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 302 {
+		t.Errorf("Count(0,4) = %v, must include the 300 records at value 4", got)
+	}
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"testing"
+
+	"privrange/internal/sampling"
+)
+
+func benchReport(n int) *SampleReport {
+	report := &SampleReport{NodeID: 3, N: n * 10}
+	for i := 0; i < n; i++ {
+		report.Samples = append(report.Samples, sampling.Sample{
+			Value: float64(i % 256),
+			Rank:  i*7 + 1,
+		})
+	}
+	return report
+}
+
+// BenchmarkEncodeReport measures serializing a 1 000-sample report — the
+// dominant message on the wire.
+func BenchmarkEncodeReport(b *testing.B) {
+	report := benchReport(1000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(report); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeReport measures the matching parse.
+func BenchmarkDecodeReport(b *testing.B) {
+	data, err := Encode(benchReport(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package wire defines the compact binary message format spoken between
+// IoT nodes and the base station, plus exact size accounting. The paper's
+// communication-cost claims are counted in samples shipped; this codec
+// turns them into concrete bytes so the iot simulator can report both.
+//
+// Framing: every message starts with a one-byte type tag followed by a
+// type-specific body. Integers use unsigned varints (most ranks and sizes
+// are small); sample values use raw IEEE-754 float64 (sensor readings have
+// no exploitable integer structure in general). Messages are
+// self-delimiting, so streams of messages need no extra framing.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"privrange/internal/sampling"
+)
+
+// Message type tags.
+const (
+	TagSampleReport byte = 0x01
+	TagHeartbeat    byte = 0x02
+	TagResample     byte = 0x03
+	TagAck          byte = 0x04
+)
+
+// maxSamplesPerMessage bounds decode-side allocation against corrupt or
+// hostile length prefixes.
+const maxSamplesPerMessage = 1 << 24
+
+// Message is any node/base-station message.
+type Message interface {
+	// Tag returns the message's wire type tag.
+	Tag() byte
+	// encodeBody appends the body (everything after the tag) to w.
+	encodeBody(w *bytes.Buffer)
+	// decodeBody parses the body from r.
+	decodeBody(r *bytes.Reader) error
+}
+
+// SampleReport carries a batch of rank-annotated samples from a node,
+// together with the node's current dataset size (needed by the estimator
+// and virtually free to include).
+type SampleReport struct {
+	NodeID int
+	N      int
+	// Replace indicates the receiver must discard the node's previously
+	// stored samples: the node redrew from scratch (its data changed)
+	// rather than topping an existing sample up. When false the samples
+	// are incremental and merge with what the base station already holds.
+	Replace bool
+	Samples []sampling.Sample
+}
+
+// Tag implements Message.
+func (*SampleReport) Tag() byte { return TagSampleReport }
+
+// Heartbeat is a node's periodic liveness message. The paper observes
+// that up to a handful of samples can ride along in an ordinary heartbeat
+// for free; Piggyback carries them.
+type Heartbeat struct {
+	NodeID    int
+	N         int
+	Piggyback []sampling.Sample
+}
+
+// Tag implements Message.
+func (*Heartbeat) Tag() byte { return TagHeartbeat }
+
+// Resample commands a node to raise its sampling rate to Rate and ship
+// the new samples — the paper's "collect more samples" control path.
+type Resample struct {
+	NodeID int
+	// Rate is the requested Bernoulli sampling probability.
+	Rate float64
+}
+
+// Tag implements Message.
+func (*Resample) Tag() byte { return TagResample }
+
+// Ack acknowledges a command.
+type Ack struct {
+	NodeID int
+}
+
+// Tag implements Message.
+func (*Ack) Tag() byte { return TagAck }
+
+// Encode serializes a message to its wire form.
+func Encode(m Message) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("wire: nil message")
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(m.Tag())
+	m.encodeBody(&buf)
+	return buf.Bytes(), nil
+}
+
+// Decode parses one message from data and returns it along with the
+// number of bytes consumed.
+func Decode(data []byte) (Message, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("wire: empty input")
+	}
+	r := bytes.NewReader(data)
+	tag, _ := r.ReadByte()
+	var m Message
+	switch tag {
+	case TagSampleReport:
+		m = &SampleReport{}
+	case TagHeartbeat:
+		m = &Heartbeat{}
+	case TagResample:
+		m = &Resample{}
+	case TagAck:
+		m = &Ack{}
+	default:
+		return nil, 0, fmt.Errorf("wire: unknown message tag 0x%02x", tag)
+	}
+	if err := m.decodeBody(r); err != nil {
+		return nil, 0, fmt.Errorf("wire: decode tag 0x%02x: %w", tag, err)
+	}
+	consumed := len(data) - r.Len()
+	return m, consumed, nil
+}
+
+// EncodedSize returns the exact wire size of the message in bytes.
+func EncodedSize(m Message) (int, error) {
+	b, err := Encode(m)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// --- body codecs -----------------------------------------------------------
+
+func putUvarint(w *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.Write(tmp[:n])
+}
+
+func putFloat(w *bytes.Buffer, f float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+	w.Write(tmp[:])
+}
+
+func readUvarint(r *bytes.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func readFloat(r *bytes.Reader) (float64, error) {
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(tmp[:])), nil
+}
+
+func encodeSamples(w *bytes.Buffer, samples []sampling.Sample) {
+	putUvarint(w, uint64(len(samples)))
+	// Ranks are strictly increasing; delta-encode them so long reports
+	// stay compact.
+	prev := uint64(0)
+	for _, s := range samples {
+		putFloat(w, s.Value)
+		rank := uint64(s.Rank)
+		putUvarint(w, rank-prev)
+		prev = rank
+	}
+}
+
+func decodeSamples(r *bytes.Reader) ([]sampling.Sample, error) {
+	count, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxSamplesPerMessage {
+		return nil, fmt.Errorf("sample count %d exceeds limit", count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	samples := make([]sampling.Sample, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		v, err := readFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		delta, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if delta == 0 {
+			return nil, fmt.Errorf("sample %d: zero rank delta (ranks must increase)", i)
+		}
+		prev += delta
+		if prev > math.MaxInt32 {
+			return nil, fmt.Errorf("sample %d: rank %d implausibly large", i, prev)
+		}
+		samples = append(samples, sampling.Sample{Value: v, Rank: int(prev)})
+	}
+	return samples, nil
+}
+
+func (m *SampleReport) encodeBody(w *bytes.Buffer) {
+	putUvarint(w, uint64(m.NodeID))
+	putUvarint(w, uint64(m.N))
+	if m.Replace {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+	encodeSamples(w, m.Samples)
+}
+
+func (m *SampleReport) decodeBody(r *bytes.Reader) error {
+	id, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	n, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	flag, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if flag > 1 {
+		return fmt.Errorf("invalid replace flag 0x%02x", flag)
+	}
+	samples, err := decodeSamples(r)
+	if err != nil {
+		return err
+	}
+	m.NodeID, m.N, m.Replace, m.Samples = int(id), int(n), flag == 1, samples
+	return nil
+}
+
+func (m *Heartbeat) encodeBody(w *bytes.Buffer) {
+	putUvarint(w, uint64(m.NodeID))
+	putUvarint(w, uint64(m.N))
+	encodeSamples(w, m.Piggyback)
+}
+
+func (m *Heartbeat) decodeBody(r *bytes.Reader) error {
+	id, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	n, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	samples, err := decodeSamples(r)
+	if err != nil {
+		return err
+	}
+	m.NodeID, m.N, m.Piggyback = int(id), int(n), samples
+	return nil
+}
+
+func (m *Resample) encodeBody(w *bytes.Buffer) {
+	putUvarint(w, uint64(m.NodeID))
+	putFloat(w, m.Rate)
+}
+
+func (m *Resample) decodeBody(r *bytes.Reader) error {
+	id, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	rate, err := readFloat(r)
+	if err != nil {
+		return err
+	}
+	if rate < 0 || rate > 1 || math.IsNaN(rate) {
+		return fmt.Errorf("resample rate %v outside [0, 1]", rate)
+	}
+	m.NodeID, m.Rate = int(id), rate
+	return nil
+}
+
+func (m *Ack) encodeBody(w *bytes.Buffer) {
+	putUvarint(w, uint64(m.NodeID))
+}
+
+func (m *Ack) decodeBody(r *bytes.Reader) error {
+	id, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	m.NodeID = int(id)
+	return nil
+}
+
+// Interface compliance.
+var (
+	_ Message = (*SampleReport)(nil)
+	_ Message = (*Heartbeat)(nil)
+	_ Message = (*Resample)(nil)
+	_ Message = (*Ack)(nil)
+)

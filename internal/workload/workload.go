@@ -1,0 +1,135 @@
+// Package workload generates range-counting query workloads for the
+// experiments: the paper evaluates "air pollution levels with different
+// ranges", i.e. batches of [l, u] queries over a pollutant series. All
+// generators are deterministic given their inputs so every figure
+// reproduces exactly.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"privrange/internal/estimator"
+	"privrange/internal/stats"
+)
+
+// Uniform draws queries with endpoints uniform over [Min, Max],
+// swapped into order.
+type Uniform struct {
+	Min, Max float64
+	Seed     int64
+}
+
+// Queries returns n queries. It returns an error for n < 1 or an empty
+// domain.
+func (g Uniform) Queries(n int) ([]estimator.Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: n %d < 1", n)
+	}
+	if !(g.Min < g.Max) {
+		return nil, fmt.Errorf("workload: empty domain [%v, %v]", g.Min, g.Max)
+	}
+	rng := stats.NewRNG(g.Seed)
+	out := make([]estimator.Query, n)
+	span := g.Max - g.Min
+	for i := range out {
+		a := g.Min + rng.Float64()*span
+		b := g.Min + rng.Float64()*span
+		if a > b {
+			a, b = b, a
+		}
+		out[i] = estimator.Query{L: a, U: b}
+	}
+	return out, nil
+}
+
+// WidthStratified emits queries of fixed widths at uniform positions — a
+// balanced mix of narrow and wide ranges, the regime where RankCounting
+// and BasicCounting diverge.
+type WidthStratified struct {
+	Min, Max float64
+	// Widths lists the absolute query widths to cycle through.
+	Widths []float64
+	Seed   int64
+}
+
+// Queries returns n queries, cycling through the widths. It returns an
+// error for invalid configuration.
+func (g WidthStratified) Queries(n int) ([]estimator.Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: n %d < 1", n)
+	}
+	if !(g.Min < g.Max) {
+		return nil, fmt.Errorf("workload: empty domain [%v, %v]", g.Min, g.Max)
+	}
+	if len(g.Widths) == 0 {
+		return nil, fmt.Errorf("workload: no widths")
+	}
+	span := g.Max - g.Min
+	for _, w := range g.Widths {
+		if w <= 0 || w > span {
+			return nil, fmt.Errorf("workload: width %v outside (0, %v]", w, span)
+		}
+	}
+	rng := stats.NewRNG(g.Seed)
+	out := make([]estimator.Query, n)
+	for i := range out {
+		w := g.Widths[i%len(g.Widths)]
+		l := g.Min + rng.Float64()*(span-w)
+		out[i] = estimator.Query{L: l, U: l + w}
+	}
+	return out, nil
+}
+
+// QuantileAnchored derives query bounds from the data distribution
+// itself: bounds sit at value quantiles, so every query hits populated
+// regions — the way a human analyst asks "how many readings were in the
+// moderate band?".
+type QuantileAnchored struct {
+	// Values is the series the quantiles are computed from.
+	Values []float64
+	Seed   int64
+}
+
+// Queries returns n queries whose endpoints are random quantiles of the
+// data.
+func (g QuantileAnchored) Queries(n int) ([]estimator.Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: n %d < 1", n)
+	}
+	if len(g.Values) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 values, have %d", len(g.Values))
+	}
+	sorted := make([]float64, len(g.Values))
+	copy(sorted, g.Values)
+	sort.Float64s(sorted)
+	rng := stats.NewRNG(g.Seed)
+	out := make([]estimator.Query, n)
+	for i := range out {
+		qa := rng.Float64()
+		qb := rng.Float64()
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		la := sorted[int(qa*float64(len(sorted)-1))]
+		ub := sorted[int(math.Ceil(qb*float64(len(sorted)-1)))]
+		out[i] = estimator.Query{L: la, U: ub}
+	}
+	return out, nil
+}
+
+// PaperGrid is the fixed deterministic workload the figure experiments
+// use: a grid of pollution-band queries over the AQI domain [0, 300]
+// covering narrow, moderate and wide ranges (including the standard
+// good/moderate/unhealthy band boundaries). Identical for every run.
+func PaperGrid() []estimator.Query {
+	bounds := []float64{0, 25, 50, 75, 100, 125, 150, 200, 250, 300}
+	var out []estimator.Query
+	for i, l := range bounds {
+		for _, u := range bounds[i+1:] {
+			out = append(out, estimator.Query{L: l, U: u})
+		}
+	}
+	return out
+}

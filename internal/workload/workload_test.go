@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"privrange/internal/estimator"
+)
+
+func validateAll(t *testing.T, qs []estimator.Query) {
+	t.Helper()
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	t.Parallel()
+	g := Uniform{Min: 0, Max: 100, Seed: 1}
+	qs, err := g.Queries(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	validateAll(t, qs)
+	for _, q := range qs {
+		if q.L < 0 || q.U > 100 {
+			t.Fatalf("query %+v outside domain", q)
+		}
+	}
+	// Determinism.
+	again, err := g.Queries(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qs, again) {
+		t.Error("same seed should reproduce the workload")
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (Uniform{Min: 0, Max: 100}).Queries(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := (Uniform{Min: 5, Max: 5}).Queries(1); err == nil {
+		t.Error("empty domain should fail")
+	}
+}
+
+func TestWidthStratified(t *testing.T) {
+	t.Parallel()
+	g := WidthStratified{Min: 0, Max: 100, Widths: []float64{5, 50}, Seed: 2}
+	qs, err := g.Queries(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateAll(t, qs)
+	for i, q := range qs {
+		wantWidth := g.Widths[i%2]
+		if got := q.U - q.L; math.Abs(got-wantWidth) > 1e-9 {
+			t.Errorf("query %d width = %v, want %v", i, got, wantWidth)
+		}
+		if q.L < 0 || q.U > 100 {
+			t.Errorf("query %+v escapes domain", q)
+		}
+	}
+}
+
+func TestWidthStratifiedValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (WidthStratified{Min: 0, Max: 10, Widths: []float64{20}}).Queries(1); err == nil {
+		t.Error("width beyond span should fail")
+	}
+	if _, err := (WidthStratified{Min: 0, Max: 10, Widths: nil}).Queries(1); err == nil {
+		t.Error("no widths should fail")
+	}
+	if _, err := (WidthStratified{Min: 0, Max: 10, Widths: []float64{0}}).Queries(1); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := (WidthStratified{Min: 0, Max: 10, Widths: []float64{1}}).Queries(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestQuantileAnchored(t *testing.T) {
+	t.Parallel()
+	values := []float64{5, 1, 9, 3, 7, 2, 8}
+	g := QuantileAnchored{Values: values, Seed: 3}
+	qs, err := g.Queries(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateAll(t, qs)
+	for _, q := range qs {
+		if q.L < 1 || q.U > 9 {
+			t.Errorf("query %+v outside data range [1, 9]", q)
+		}
+	}
+	// Input must not be mutated (the generator sorts a copy).
+	if !reflect.DeepEqual(values, []float64{5, 1, 9, 3, 7, 2, 8}) {
+		t.Error("generator mutated its input")
+	}
+}
+
+func TestQuantileAnchoredValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (QuantileAnchored{Values: []float64{1}}).Queries(1); err == nil {
+		t.Error("too few values should fail")
+	}
+	if _, err := (QuantileAnchored{Values: []float64{1, 2}}).Queries(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestPaperGrid(t *testing.T) {
+	t.Parallel()
+	qs := PaperGrid()
+	if len(qs) != 45 { // C(10, 2)
+		t.Fatalf("grid size = %d, want 45", len(qs))
+	}
+	validateAll(t, qs)
+	seen := map[estimator.Query]bool{}
+	for _, q := range qs {
+		if seen[q] {
+			t.Fatalf("duplicate query %+v", q)
+		}
+		seen[q] = true
+		if q.L >= q.U {
+			t.Fatalf("degenerate query %+v", q)
+		}
+	}
+	// Deterministic by construction.
+	if !reflect.DeepEqual(qs, PaperGrid()) {
+		t.Error("grid should be identical across calls")
+	}
+}

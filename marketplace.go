@@ -1,0 +1,266 @@
+package privrange
+
+import (
+	"fmt"
+	"io"
+
+	"privrange/internal/core"
+	"privrange/internal/dp"
+	"privrange/internal/iot"
+	"privrange/internal/market"
+	"privrange/internal/pricing"
+)
+
+// Tariff selects one of the library's arbitrage-avoiding pricing
+// functions (§IV of the paper). Prices are ψ(V) of the answer variance
+// V(α, δ) = (αn)²(1−δ).
+type Tariff struct {
+	// Base is a flat per-query fee (may be zero).
+	Base float64
+	// C scales the 1/V component; must be positive. The neutral tariff
+	// π = C/V is the arbitrage-avoidance boundary: set Base > 0 to make
+	// every averaging attack strictly unprofitable.
+	C float64
+}
+
+func (t Tariff) internal() (pricing.Function, error) {
+	if t.C <= 0 {
+		return nil, fmt.Errorf("privrange: tariff C %v must be positive", t.C)
+	}
+	if t.Base < 0 {
+		return nil, fmt.Errorf("privrange: tariff base %v must be non-negative", t.Base)
+	}
+	if t.Base == 0 {
+		return pricing.InverseVariance{C: t.C}, nil
+	}
+	return pricing.BaseFeePlusInverse{Base: t.Base, C: t.C}, nil
+}
+
+// Quote is a priced offer for an accuracy level.
+type Quote struct {
+	// Price is what the broker charges for one answer at this accuracy.
+	Price float64
+	// Variance is the answer variance the price is derived from.
+	Variance float64
+}
+
+// PurchaseResult is a completed marketplace transaction.
+type PurchaseResult struct {
+	// Value is the private answer (raw, unbiased — may fall outside
+	// [0, n]); Clamped truncates it for display.
+	Value   float64
+	Clamped float64
+	// Price is the amount charged.
+	Price float64
+	// ReceiptID identifies the sale in the broker's ledger.
+	ReceiptID int64
+	// EpsilonPrime is the effective privacy budget the answer consumed.
+	EpsilonPrime float64
+}
+
+// Marketplace is a multi-dataset data-trading broker: it registers
+// datasets, quotes and sells private answers under an arbitrage-avoiding
+// tariff, and can serve remote consumers over TCP.
+type Marketplace struct {
+	broker  *market.Broker
+	wallets *market.Wallets
+}
+
+// NewMarketplace opens a broker with the given tariff. The tariff is
+// audited for arbitrage-avoidance; an exploitable one is refused.
+func NewMarketplace(t Tariff) (*Marketplace, error) {
+	fn, err := t.internal()
+	if err != nil {
+		return nil, err
+	}
+	broker, err := market.NewBroker(fn)
+	if err != nil {
+		return nil, err
+	}
+	return &Marketplace{broker: broker}, nil
+}
+
+// AddDataset registers readings for sale under the given name, spread
+// across a simulated IoT deployment per opt.
+func (m *Marketplace) AddDataset(name string, values []float64, opt Options) error {
+	if len(values) == 0 {
+		return fmt.Errorf("privrange: dataset %q is empty", name)
+	}
+	nodes := opt.Nodes
+	if nodes == 0 {
+		nodes = 16
+	}
+	if nodes < 1 || nodes > len(values) {
+		return fmt.Errorf("privrange: node count %d outside [1, %d]", nodes, len(values))
+	}
+	topo := iot.Flat
+	if opt.Tree {
+		topo = iot.Tree
+	}
+	network, err := iot.New(partition(values, nodes), iot.Config{Seed: opt.Seed, Topology: topo})
+	if err != nil {
+		return err
+	}
+	accountant, err := dp.NewAccountant(opt.TotalBudget)
+	if err != nil {
+		return err
+	}
+	engine, err := core.New(network,
+		core.WithSeed(opt.Seed+1),
+		core.WithAccountant(accountant),
+		core.WithAnswerCache(opt.CacheAnswers),
+	)
+	if err != nil {
+		return err
+	}
+	return m.broker.Register(name, engine, len(values), nodes)
+}
+
+// Quote prices one answer at the given accuracy on a dataset.
+func (m *Marketplace) Quote(dataset string, acc Accuracy) (Quote, error) {
+	price, variance, err := m.broker.Quote(dataset, acc.internal())
+	if err != nil {
+		return Quote{}, err
+	}
+	return Quote{Price: price, Variance: variance}, nil
+}
+
+// Buy sells one private (α, δ)-range-counting answer over [l, u] on the
+// dataset to the named customer and records the sale.
+func (m *Marketplace) Buy(customer, dataset string, l, u float64, acc Accuracy) (*PurchaseResult, error) {
+	resp, err := m.broker.Buy(market.Request{
+		Dataset:  dataset,
+		Customer: customer,
+		L:        l,
+		U:        u,
+		Alpha:    acc.Alpha,
+		Delta:    acc.Delta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	result := &PurchaseResult{
+		Value:        resp.Value,
+		Clamped:      resp.Clamped,
+		Price:        resp.Price,
+		EpsilonPrime: resp.EpsilonPrime,
+	}
+	if resp.Receipt != nil {
+		result.ReceiptID = resp.Receipt.ID
+	}
+	return result, nil
+}
+
+// EnablePrepaid switches the marketplace to prepaid customer accounts:
+// every Buy (local or remote) debits the customer's balance first and
+// fails on insufficient funds. Idempotent.
+func (m *Marketplace) EnablePrepaid() {
+	if m.wallets == nil {
+		m.wallets = &market.Wallets{}
+		m.broker.AttachWallets(m.wallets)
+	}
+}
+
+// Deposit credits a prepaid customer account. It returns an error when
+// prepaid mode is not enabled.
+func (m *Marketplace) Deposit(customer string, amount float64) error {
+	if m.wallets == nil {
+		return fmt.Errorf("privrange: marketplace runs in invoice mode; call EnablePrepaid first")
+	}
+	return m.wallets.Deposit(customer, amount)
+}
+
+// Balance returns a prepaid customer's balance (0 in invoice mode).
+func (m *Marketplace) Balance(customer string) float64 {
+	if m.wallets == nil {
+		return 0
+	}
+	return m.wallets.Balance(customer)
+}
+
+// SuspiciousPattern reports one repeated-purchase pattern from the
+// broker's ledger audit (the observable footprint of an averaging
+// attack).
+type SuspiciousPattern struct {
+	Customer  string
+	Dataset   string
+	L, U      float64
+	Alpha     float64
+	Delta     float64
+	Purchases int
+	TotalPaid float64
+}
+
+// Audit scans the ledger for customers repeating the same purchase three
+// or more times.
+func (m *Marketplace) Audit() []SuspiciousPattern {
+	sus := m.broker.Audit()
+	out := make([]SuspiciousPattern, len(sus))
+	for i, s := range sus {
+		out[i] = SuspiciousPattern{
+			Customer:  s.Customer,
+			Dataset:   s.Dataset,
+			L:         s.L,
+			U:         s.U,
+			Alpha:     s.Alpha,
+			Delta:     s.Delta,
+			Purchases: s.Count,
+			TotalPaid: s.TotalPaid,
+		}
+	}
+	return out
+}
+
+// PrivacySpent returns the cumulative effective privacy budget released
+// for one dataset across all sales.
+func (m *Marketplace) PrivacySpent(dataset string) float64 {
+	return m.broker.Ledger().PrivacySpent(dataset)
+}
+
+// SetCustomerPrivacyCap bounds the cumulative effective privacy budget
+// any single customer may extract from any single dataset. Zero removes
+// the cap.
+func (m *Marketplace) SetCustomerPrivacyCap(epsilon float64) error {
+	return m.broker.SetCustomerPrivacyCap(epsilon)
+}
+
+// SaveState serializes the marketplace's trading state (ledger and
+// prepaid balances) as JSON for restart durability.
+func (m *Marketplace) SaveState(w io.Writer) error { return m.broker.SaveState(w) }
+
+// RestoreState reloads a snapshot produced by SaveState. Enable prepaid
+// mode first when the snapshot carries balances.
+func (m *Marketplace) RestoreState(r io.Reader) error { return m.broker.RestoreState(r) }
+
+// Revenue returns the broker's total take so far.
+func (m *Marketplace) Revenue() float64 { return m.broker.Ledger().Revenue() }
+
+// Purchases returns how many sales the ledger holds.
+func (m *Marketplace) Purchases() int { return m.broker.Ledger().Purchases() }
+
+// SpentBy returns one customer's total spend.
+func (m *Marketplace) SpentBy(customer string) float64 {
+	return m.broker.Ledger().SpentBy(customer)
+}
+
+// MarketServer is a running TCP endpoint for a Marketplace.
+type MarketServer struct {
+	srv *market.Server
+}
+
+// Serve exposes the marketplace on a TCP address (use "127.0.0.1:0" for
+// an ephemeral port). The protocol is newline-delimited JSON; see
+// internal/market for the message schema and a ready-made client.
+func (m *Marketplace) Serve(addr string) (*MarketServer, error) {
+	srv, err := market.Serve(m.broker, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &MarketServer{srv: srv}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *MarketServer) Addr() string { return s.srv.Addr() }
+
+// Close shuts the server down and drains its connections.
+func (s *MarketServer) Close() error { return s.srv.Close() }

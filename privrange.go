@@ -1,0 +1,339 @@
+// Package privrange is a Go implementation of "Trading Private Range
+// Counting over Big IoT Data" (Cai & He, ICDCS 2019): a broker framework
+// that sells differentially-private approximate range-counting answers
+// over distributed IoT data.
+//
+// The pipeline, end to end:
+//
+//   - IoT nodes Bernoulli-sample their local data and ship each sampled
+//     value with its local rank; the base station needs only ~√k/α
+//     samples instead of the whole dataset.
+//   - The RankCounting estimator reconstructs unbiased range counts from
+//     those rank-annotated samples with variance ≤ 8k/p², independent of
+//     the queried range's width.
+//   - For each customer request Λ(α, δ), an optimizer splits the error
+//     budget between sampling and Laplace noise so the released answer is
+//     (α, δ)-accurate with the smallest effective privacy budget
+//     ε′ = ln(1 + p(e^ε − 1)).
+//   - An arbitrage-avoiding tariff prices answers by their variance so
+//     buying many cheap noisy answers and averaging them never undercuts
+//     the honest price.
+//
+// # Quick start
+//
+//	sys, err := privrange.NewSystem(values, privrange.Options{Nodes: 16})
+//	if err != nil { ... }
+//	ans, err := sys.Count(50, 100, privrange.Accuracy{Alpha: 0.05, Delta: 0.9})
+//	fmt.Println(ans.Value, ans.EpsilonPrime)
+//
+// For the trading layer (pricing, ledger, TCP protocol), see Marketplace.
+package privrange
+
+import (
+	"errors"
+	"fmt"
+
+	"privrange/internal/core"
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+	"privrange/internal/iot"
+	"privrange/internal/optimize"
+)
+
+// Accuracy is an (α, δ) accuracy requirement (Definition 2.2 of the
+// paper): the released count must be within ±α·|D| of the truth with
+// probability at least δ. Both parameters must lie strictly in (0, 1).
+type Accuracy struct {
+	Alpha float64
+	Delta float64
+}
+
+func (a Accuracy) internal() estimator.Accuracy {
+	return estimator.Accuracy{Alpha: a.Alpha, Delta: a.Delta}
+}
+
+// Validate reports whether the requirement is well-formed.
+func (a Accuracy) Validate() error { return a.internal().Validate() }
+
+// Answer is one released private range-counting result.
+type Answer struct {
+	// Value is the ε′-differentially-private estimate. It may fall
+	// outside [0, N]; Clamped truncates it for display.
+	Value float64
+	// Clamped is Value truncated to [0, N] (safe post-processing).
+	Clamped float64
+	// AlphaPrime and DeltaPrime are the internal sampling-phase accuracy
+	// the optimizer chose.
+	AlphaPrime, DeltaPrime float64
+	// Epsilon is the Laplace mechanism's base budget; EpsilonPrime is the
+	// effective guarantee after privacy amplification by sampling — the
+	// quantity the system minimizes.
+	Epsilon, EpsilonPrime float64
+	// SamplingRate is the Bernoulli rate the answer was computed at.
+	SamplingRate float64
+	// Nodes and N describe the deployment.
+	Nodes, N int
+}
+
+// CommCost reports the deployment's cumulative communication bill.
+type CommCost struct {
+	// Messages is the number of protocol messages exchanged.
+	Messages int
+	// Bytes is the hop-weighted on-the-wire volume.
+	Bytes int64
+	// SamplesShipped counts rank-annotated samples transferred.
+	SamplesShipped int
+}
+
+// ErrInfeasible is returned when a requested accuracy cannot be met. Use
+// errors.Is.
+var ErrInfeasible = errors.New("privrange: accuracy requirement infeasible")
+
+// Options configures NewSystem. The zero value is usable.
+type Options struct {
+	// Nodes is the number of simulated IoT nodes the data is spread
+	// across. Zero selects 16.
+	Nodes int
+	// Seed drives all randomness (sampling and noise) deterministically.
+	Seed int64
+	// TotalBudget caps the cumulative effective privacy loss Σε′ across
+	// answers; once exhausted, Count fails. Zero means uncapped.
+	TotalBudget float64
+	// Tree switches the simulated network from the flat topology to a
+	// balanced aggregation tree (affects communication cost only).
+	Tree bool
+	// CacheAnswers re-serves already-released answers for repeated
+	// identical requests at zero additional privacy cost (free
+	// post-processing), which also makes averaging repeat purchases
+	// pointless. Off by default: the paper's broker draws fresh noise
+	// per sale.
+	CacheAnswers bool
+}
+
+// System is a self-contained deployment: simulated IoT network, base
+// station, and private query engine over one dataset.
+type System struct {
+	network    *iot.Network
+	engine     *core.Engine
+	accountant *dp.Accountant
+}
+
+// NewSystem builds a deployment over the given readings. The values are
+// distributed across opt.Nodes simulated sensors; samples are collected
+// lazily when the first query needs them.
+func NewSystem(values []float64, opt Options) (*System, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("privrange: no data")
+	}
+	nodes := opt.Nodes
+	if nodes == 0 {
+		nodes = 16
+	}
+	if nodes < 1 || nodes > len(values) {
+		return nil, fmt.Errorf("privrange: node count %d outside [1, %d]", nodes, len(values))
+	}
+	parts := partition(values, nodes)
+	topo := iot.Flat
+	if opt.Tree {
+		topo = iot.Tree
+	}
+	network, err := iot.New(parts, iot.Config{Seed: opt.Seed, Topology: topo})
+	if err != nil {
+		return nil, err
+	}
+	accountant, err := dp.NewAccountant(opt.TotalBudget)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.New(network,
+		core.WithSeed(opt.Seed+1),
+		core.WithAccountant(accountant),
+		core.WithAnswerCache(opt.CacheAnswers),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &System{network: network, engine: engine, accountant: accountant}, nil
+}
+
+func partition(values []float64, k int) [][]float64 {
+	parts := make([][]float64, k)
+	base := len(values) / k
+	extra := len(values) % k
+	offset := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		parts[i] = values[offset : offset+size]
+		offset += size
+	}
+	return parts
+}
+
+// Count answers an (α, δ)-range-counting query over [l, u] with the
+// strongest feasible differential privacy. The network is driven to
+// collect more samples automatically when needed.
+func (s *System) Count(l, u float64, acc Accuracy) (*Answer, error) {
+	ans, err := s.engine.Answer(estimator.Query{L: l, U: u}, acc.internal())
+	if err != nil {
+		if errors.Is(err, optimize.ErrInfeasible) || errors.Is(err, core.ErrUnachievable) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	return &Answer{
+		Value:        ans.Value,
+		Clamped:      ans.Clamped(),
+		AlphaPrime:   ans.Plan.AlphaPrime,
+		DeltaPrime:   ans.Plan.DeltaPrime,
+		Epsilon:      ans.Plan.Epsilon,
+		EpsilonPrime: ans.Plan.EpsilonPrime,
+		SamplingRate: ans.Rate,
+		Nodes:        ans.Nodes,
+		N:            ans.N,
+	}, nil
+}
+
+// Histogram is a released band histogram: Counts[i] estimates the
+// number of readings in [Boundaries[i], Boundaries[i+1]), with the last
+// band closed on the right.
+type Histogram struct {
+	Boundaries []float64
+	Counts     []float64
+	// EpsilonPrime is the effective privacy budget the release consumed.
+	EpsilonPrime float64
+}
+
+// Histogram releases an ε-differentially-private band histogram. The
+// bands are disjoint, so the whole histogram costs one ε (parallel
+// composition) — far cheaper than asking each band as a separate range
+// query. Counts are normalized to be non-negative and sum to |D|.
+func (s *System) Histogram(boundaries []float64, epsilon float64) (*Histogram, error) {
+	h, effective, err := s.engine.Histogram(boundaries, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Normalize(float64(s.N())); err != nil {
+		return nil, err
+	}
+	return &Histogram{
+		Boundaries:   h.Boundaries,
+		Counts:       h.Counts,
+		EpsilonPrime: effective,
+	}, nil
+}
+
+// QuantileResult is a released private quantile.
+type QuantileResult struct {
+	// Value is the selected quantile value.
+	Value float64
+	// EpsilonPrime is the effective privacy budget the release consumed.
+	EpsilonPrime float64
+}
+
+// Quantile releases an ε-differentially-private q-quantile (0 < q < 1)
+// of the dataset, selected by the exponential mechanism over the
+// collected samples.
+func (s *System) Quantile(q, epsilon float64) (*QuantileResult, error) {
+	v, effective, err := s.engine.Quantile(q, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &QuantileResult{Value: v, EpsilonPrime: effective}, nil
+}
+
+// Range is a query interval [L, U] for batch requests.
+type Range struct {
+	L, U float64
+}
+
+// CountBatch answers many range queries at one shared accuracy level
+// with a single optimizer plan; each answer carries independent noise
+// and the total privacy cost (m·ε′) is charged up front, all or nothing.
+func (s *System) CountBatch(ranges []Range, acc Accuracy) ([]*Answer, error) {
+	queries := make([]estimator.Query, len(ranges))
+	for i, r := range ranges {
+		queries[i] = estimator.Query{L: r.L, U: r.U}
+	}
+	raw, err := s.engine.AnswerBatch(queries, acc.internal())
+	if err != nil {
+		if errors.Is(err, optimize.ErrInfeasible) || errors.Is(err, core.ErrUnachievable) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	out := make([]*Answer, len(raw))
+	for i, ans := range raw {
+		out[i] = &Answer{
+			Value:        ans.Value,
+			Clamped:      ans.Clamped(),
+			AlphaPrime:   ans.Plan.AlphaPrime,
+			DeltaPrime:   ans.Plan.DeltaPrime,
+			Epsilon:      ans.Plan.Epsilon,
+			EpsilonPrime: ans.Plan.EpsilonPrime,
+			SamplingRate: ans.Rate,
+			Nodes:        ans.Nodes,
+			N:            ans.N,
+		}
+	}
+	return out, nil
+}
+
+// Ingest appends new readings to the deployment (continuous data
+// collection), spreading them across the simulated nodes round-robin and
+// refreshing the collected samples at the current rate. Subsequent
+// queries see the grown dataset.
+func (s *System) Ingest(values []float64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	k := s.network.NumNodes()
+	perNode := make([][]float64, k)
+	for i, v := range values {
+		perNode[i%k] = append(perNode[i%k], v)
+	}
+	return s.network.IngestRound(perNode)
+}
+
+// Hitter is one released heavy hitter: a frequent reading and its noisy
+// estimated frequency.
+type Hitter struct {
+	Value float64
+	Count float64
+}
+
+// TopK releases the k most frequent readings under ε-DP (peeling
+// exponential mechanism plus noisy counts).
+func (s *System) TopK(k int, epsilon float64) ([]Hitter, float64, error) {
+	hitters, effective, err := s.engine.TopK(k, epsilon)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]Hitter, len(hitters))
+	for i, h := range hitters {
+		out[i] = Hitter{Value: h.Value, Count: h.Count}
+	}
+	return out, effective, nil
+}
+
+// SpentBudget returns the cumulative effective privacy loss Σε′ released
+// so far.
+func (s *System) SpentBudget() float64 { return s.accountant.Spent() }
+
+// Cost returns the network's communication bill.
+func (s *System) Cost() CommCost {
+	c := s.network.Cost()
+	return CommCost{Messages: c.Messages, Bytes: c.Bytes, SamplesShipped: c.SamplesShipped}
+}
+
+// SamplingRate returns the Bernoulli rate the base station currently
+// holds (0 before the first query).
+func (s *System) SamplingRate() float64 { return s.network.Rate() }
+
+// N returns the dataset size |D|.
+func (s *System) N() int { return s.network.TotalN() }
+
+// Nodes returns the node count k.
+func (s *System) Nodes() int { return s.network.NumNodes() }

@@ -1,0 +1,463 @@
+package privrange
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/market"
+)
+
+func testSeries(t *testing.T, seed int64) *dataset.Series {
+	t.Helper()
+	s, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewSystem(nil, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := NewSystem([]float64{1, 2}, Options{Nodes: 3}); err == nil {
+		t.Error("more nodes than values should fail")
+	}
+	if _, err := NewSystem([]float64{1, 2}, Options{Nodes: -1}); err == nil {
+		t.Error("negative nodes should fail")
+	}
+	if _, err := NewSystem([]float64{1, 2}, Options{Nodes: 2, TotalBudget: -1}); err == nil {
+		t.Error("negative budget should fail")
+	}
+}
+
+func TestSystemCount(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 1)
+	sys, err := NewSystem(series.Values, Options{Nodes: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != series.Len() || sys.Nodes() != 12 {
+		t.Fatalf("system shape wrong: n=%d k=%d", sys.N(), sys.Nodes())
+	}
+	acc := Accuracy{Alpha: 0.05, Delta: 0.8}
+	ans, err := sys.Count(40, 120, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := series.RangeCount(40, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ans.Value-float64(truth)) > 3*acc.Alpha*float64(series.Len()) {
+		t.Errorf("answer %v wildly off truth %d", ans.Value, truth)
+	}
+	if ans.Clamped < 0 || ans.Clamped > float64(ans.N) {
+		t.Errorf("Clamped %v out of range", ans.Clamped)
+	}
+	if ans.EpsilonPrime <= 0 || ans.EpsilonPrime > ans.Epsilon {
+		t.Errorf("budgets inconsistent: %+v", ans)
+	}
+	if ans.AlphaPrime >= acc.Alpha || ans.DeltaPrime <= acc.Delta {
+		t.Errorf("internal split not strictly tighter: %+v", ans)
+	}
+	if sys.SamplingRate() <= 0 {
+		t.Error("count should have triggered collection")
+	}
+	if sys.SpentBudget() != ans.EpsilonPrime {
+		t.Errorf("spent %v, want %v", sys.SpentBudget(), ans.EpsilonPrime)
+	}
+	cost := sys.Cost()
+	if cost.SamplesShipped == 0 || cost.Messages == 0 {
+		t.Errorf("cost not accounted: %+v", cost)
+	}
+}
+
+func TestSystemBudgetCap(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 2)
+	sys, err := NewSystem(series.Values, Options{Nodes: 8, Seed: 3, TotalBudget: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Count(0, 100, Accuracy{Alpha: 0.1, Delta: 0.5}); err == nil {
+		t.Error("exhausted budget should fail")
+	}
+}
+
+func TestSystemInfeasibleAccuracy(t *testing.T) {
+	t.Parallel()
+	values := testSeries(t, 3).Values[:1000]
+	sys, err := NewSystem(values, Options{Nodes: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Count(0, 100, Accuracy{Alpha: 0.01, Delta: 0.9})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSystemBadInputs(t *testing.T) {
+	t.Parallel()
+	sys, err := NewSystem(testSeries(t, 4).Values, Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Count(10, 5, Accuracy{Alpha: 0.1, Delta: 0.5}); err == nil {
+		t.Error("l > u should fail")
+	}
+	if _, err := sys.Count(0, 1, Accuracy{Alpha: 2, Delta: 0.5}); err == nil {
+		t.Error("bad accuracy should fail")
+	}
+	if err := (Accuracy{Alpha: 0.5, Delta: 0.5}).Validate(); err != nil {
+		t.Errorf("valid accuracy rejected: %v", err)
+	}
+}
+
+func TestSystemTreeTopology(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 5)
+	flat, err := NewSystem(series.Values, Options{Nodes: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewSystem(series.Values, Options{Nodes: 32, Seed: 7, Tree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.1, Delta: 0.5}
+	if _, err := flat.Count(0, 100, acc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Count(0, 100, acc); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Cost().Bytes <= flat.Cost().Bytes {
+		t.Errorf("tree routing should cost more bytes: %d vs %d", tree.Cost().Bytes, flat.Cost().Bytes)
+	}
+}
+
+func TestMarketplaceEndToEnd(t *testing.T) {
+	t.Parallel()
+	mp, err := NewMarketplace(Tariff{Base: 1, C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, 6)
+	if err := mp.AddDataset("ozone", series.Values, Options{Nodes: 10, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.08, Delta: 0.6}
+	quote, err := mp.Quote("ozone", acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quote.Price <= 0 || quote.Variance <= 0 {
+		t.Fatalf("bad quote %+v", quote)
+	}
+	res, err := mp.Buy("alice", "ozone", 40, 100, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Price-quote.Price) > 1e-9 {
+		t.Errorf("charged %v, quoted %v", res.Price, quote.Price)
+	}
+	if res.ReceiptID == 0 || res.EpsilonPrime <= 0 {
+		t.Errorf("missing sale metadata: %+v", res)
+	}
+	if mp.Purchases() != 1 {
+		t.Errorf("purchases = %d", mp.Purchases())
+	}
+	if math.Abs(mp.Revenue()-res.Price) > 1e-12 {
+		t.Errorf("revenue = %v", mp.Revenue())
+	}
+	if math.Abs(mp.SpentBy("alice")-res.Price) > 1e-12 {
+		t.Errorf("alice spend = %v", mp.SpentBy("alice"))
+	}
+}
+
+func TestMarketplaceValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewMarketplace(Tariff{C: 0}); err == nil {
+		t.Error("C=0 should fail")
+	}
+	if _, err := NewMarketplace(Tariff{Base: -1, C: 1}); err == nil {
+		t.Error("negative base should fail")
+	}
+	mp, err := NewMarketplace(Tariff{C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.AddDataset("x", nil, Options{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if err := mp.AddDataset("x", []float64{1}, Options{Nodes: 5}); err == nil {
+		t.Error("nodes > len should fail")
+	}
+	if _, err := mp.Quote("missing", Accuracy{Alpha: 0.1, Delta: 0.5}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestMarketplaceServe(t *testing.T) {
+	t.Parallel()
+	mp, err := NewMarketplace(Tariff{Base: 0.5, C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, 8)
+	if err := mp.AddDataset("ozone", series.Values, Options{Nodes: 8, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := market.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	resp, err := client.Buy(market.Request{
+		Dataset: "ozone", Customer: "remote", L: 30, U: 90, Alpha: 0.1, Delta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Receipt == nil {
+		t.Fatal("remote buy missing receipt")
+	}
+	if mp.Purchases() != 1 {
+		t.Error("remote sale should hit the ledger")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 12)
+	run := func() float64 {
+		sys, err := NewSystem(series.Values, Options{Nodes: 8, Seed: 33})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := sys.Count(20, 80, Accuracy{Alpha: 0.1, Delta: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans.Value
+	}
+	if run() != run() {
+		t.Error("same options should reproduce answers exactly")
+	}
+}
+
+func TestSystemHistogram(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 20)
+	sys, err := NewSystem(series.Values, Options{Nodes: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := []float64{0, 50, 100, 150, 300}
+	h, err := sys.Histogram(bands, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 4 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	sum := 0.0
+	for _, c := range h.Counts {
+		if c < 0 {
+			t.Errorf("normalized count %v negative", c)
+		}
+		sum += c
+	}
+	if math.Abs(sum-float64(sys.N())) > 1e-6 {
+		t.Errorf("normalized total %v, want %d", sum, sys.N())
+	}
+	if h.EpsilonPrime <= 0 || sys.SpentBudget() != h.EpsilonPrime {
+		t.Errorf("budget accounting wrong: eps'=%v spent=%v", h.EpsilonPrime, sys.SpentBudget())
+	}
+	if _, err := sys.Histogram([]float64{3, 1}, 1); err == nil {
+		t.Error("bad boundaries should fail")
+	}
+}
+
+func TestSystemQuantile(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 22)
+	sys, err := NewSystem(series.Values, Options{Nodes: 10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Quantile(0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := 0
+	for _, x := range series.Values {
+		if x <= res.Value {
+			rank++
+		}
+	}
+	n := float64(series.Len())
+	if math.Abs(float64(rank)-0.5*n) > 0.05*n {
+		t.Errorf("median %v has rank %d, want ~%v", res.Value, rank, 0.5*n)
+	}
+	if res.EpsilonPrime <= 0 || sys.SpentBudget() != res.EpsilonPrime {
+		t.Errorf("budget accounting wrong: %+v spent=%v", res, sys.SpentBudget())
+	}
+	if _, err := sys.Quantile(1.5, 1); err == nil {
+		t.Error("q out of range should fail")
+	}
+}
+
+func TestMarketplacePrepaidAndAudit(t *testing.T) {
+	t.Parallel()
+	mp, err := NewMarketplace(Tariff{Base: 1, C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, 30)
+	if err := mp.AddDataset("ozone", series.Values, Options{Nodes: 8, Seed: 31}); err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.1, Delta: 0.5}
+	// Invoice mode: deposits rejected, audit clean.
+	if err := mp.Deposit("alice", 10); err == nil {
+		t.Error("deposit should fail before EnablePrepaid")
+	}
+	mp.EnablePrepaid()
+	mp.EnablePrepaid() // idempotent
+	quote, err := mp.Quote("ozone", acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.Buy("alice", "ozone", 30, 90, acc); err == nil {
+		t.Fatal("unfunded prepaid buy should fail")
+	}
+	if err := mp.Deposit("alice", quote.Price*3.2); err != nil {
+		t.Fatal(err)
+	}
+	var privacy float64
+	for i := 0; i < 3; i++ {
+		res, err := mp.Buy("alice", "ozone", 30, 90, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		privacy += res.EpsilonPrime
+	}
+	if bal := mp.Balance("alice"); math.Abs(bal-quote.Price*0.2) > 1e-9 {
+		t.Errorf("balance = %v, want %v", bal, quote.Price*0.2)
+	}
+	if _, err := mp.Buy("alice", "ozone", 30, 90, acc); err == nil {
+		t.Error("drained wallet should block")
+	}
+	// Alice repeated the same purchase 3x: the audit flags it.
+	sus := mp.Audit()
+	if len(sus) != 1 || sus[0].Customer != "alice" || sus[0].Purchases != 3 {
+		t.Errorf("audit = %+v", sus)
+	}
+	if got := mp.PrivacySpent("ozone"); math.Abs(got-privacy) > 1e-12 {
+		t.Errorf("PrivacySpent = %v, want %v", got, privacy)
+	}
+}
+
+func TestSystemIngest(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 40)
+	head := series.Values[:10000]
+	tail := series.Values[10000:]
+	sys, err := NewSystem(head, Options{Nodes: 8, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.08, Delta: 0.6}
+	if _, err := sys.Count(40, 120, acc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(nil); err != nil {
+		t.Errorf("empty ingest: %v", err)
+	}
+	if err := sys.Ingest(tail); err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != series.Len() {
+		t.Fatalf("N = %d, want %d after ingest", sys.N(), series.Len())
+	}
+	ans, err := sys.Count(40, 120, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := series.RangeCount(40, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ans.Value-float64(truth)) > 3*acc.Alpha*float64(series.Len()) {
+		t.Errorf("post-ingest answer %v wildly off truth %d", ans.Value, truth)
+	}
+}
+
+func TestSystemCacheAnswers(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 50)
+	sys, err := NewSystem(series.Values, Options{Nodes: 8, Seed: 51, CacheAnswers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.1, Delta: 0.5}
+	a, err := sys.Count(30, 90, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := sys.SpentBudget()
+	b, err := sys.Count(30, 90, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Error("cached repeat should return the identical answer")
+	}
+	if sys.SpentBudget() != spent {
+		t.Error("cached repeat must not spend budget")
+	}
+}
+
+func TestSystemTopK(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 60)
+	sys, err := NewSystem(series.Values, Options{Nodes: 8, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitters, effective, err := sys.TopK(3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hitters) != 3 || effective <= 0 {
+		t.Fatalf("hitters=%+v eff=%v", hitters, effective)
+	}
+	if sys.SpentBudget() != effective {
+		t.Errorf("spent %v, want %v", sys.SpentBudget(), effective)
+	}
+	for _, h := range hitters {
+		truth, err := series.RangeCount(h.Value, h.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			t.Errorf("hitter %v absent from data", h.Value)
+		}
+	}
+	if _, _, err := sys.TopK(0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
