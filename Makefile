@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples fuzz clean
+.PHONY: all check build vet test race cover bench experiments examples fuzz clean
 
 all: build vet test
+
+# check is the pre-merge gate: compile, static analysis, tests.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -20,8 +23,11 @@ cover:
 	$(GO) test -cover ./...
 
 # One testing.B target per paper figure + ablations; logs the series.
+# Also runs the hot-path micro-benchmarks (estimator worker pool, batch
+# fan-out, wire codec); baselines live in results/bench-concurrency.txt.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+	$(GO) test -bench=. -benchmem -run=NONE ./internal/estimator ./internal/core ./internal/wire
 
 # Regenerate the paper's evaluation as tables (CSV copies in ./results).
 experiments:

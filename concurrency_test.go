@@ -1,0 +1,109 @@
+package privrange
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSystemConcurrentMixedWorkload hammers one System with parallel
+// Count, CountBatch, Histogram and Ingest callers. Run under -race (make
+// race) it proves the broker's read-mostly locking: queries estimate
+// against immutable snapshots while ingestion rounds rewrite the sample
+// state underneath them.
+func TestSystemConcurrentMixedWorkload(t *testing.T) {
+	t.Parallel()
+	series := testSeries(t, 9)
+	sys, err := NewSystem(series.Values, Options{Nodes: 24, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.1, Delta: 0.5}
+	// Warm up: establish a sampling rate before the contention starts so
+	// no goroutine needs the (writer) auto-collection path mid-flight.
+	if _, err := sys.Count(0, 100, acc); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		counters  = 4
+		batchers  = 2
+		histGoers = 2
+		ingesters = 2
+		iters     = 6
+		perIngest = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, counters*iters+batchers*iters+histGoers*iters+ingesters*iters)
+
+	for g := 0; g < counters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := sys.Count(float64(5*g), float64(5*g+120), acc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < batchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ranges := []Range{{L: 0, U: 60}, {L: 30, U: 150}, {L: float64(10 * g), U: 200}, {L: 50, U: 90}}
+			for i := 0; i < iters; i++ {
+				if _, err := sys.CountBatch(ranges, acc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < histGoers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bounds := []float64{0, 50, 100, 150, 200, 300}
+			for i := 0; i < iters; i++ {
+				if _, err := sys.Histogram(bounds, 0.5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	ingested := 0
+	var ingestedMu sync.Mutex
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				batch := make([]float64, perIngest)
+				for j := range batch {
+					batch[j] = float64(40 + (g+i+j)%80)
+				}
+				if err := sys.Ingest(batch); err != nil {
+					errs <- err
+					return
+				}
+				ingestedMu.Lock()
+				ingested += len(batch)
+				ingestedMu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every ingested record must be visible to subsequent queries.
+	if want := series.Len() + ingested; sys.N() != want {
+		t.Errorf("N = %d after concurrent ingest, want %d", sys.N(), want)
+	}
+	if sys.SamplingRate() <= 0 {
+		t.Error("sampling rate lost under concurrency")
+	}
+}

@@ -16,20 +16,25 @@ import (
 // rate that keeps the 1/p sensitivity small.
 const defaultAggregateRate = 0.2
 
-// ensureSamples makes sure the base station holds a usable sample,
-// collecting at the default aggregate rate when permitted.
-func (e *Engine) ensureSamples() (float64, error) {
-	rate := e.src.Rate()
-	if rate > 0 {
-		return rate, nil
+// collectedSnapshot returns a snapshot with a usable sample, collecting
+// at the default aggregate rate (as the writer) when none exists yet.
+func (e *Engine) collectedSnapshot() (snapshot, error) {
+	snap := e.readSnapshot()
+	if snap.rate > 0 {
+		return snap, nil
 	}
 	if !e.auto {
-		return 0, fmt.Errorf("core: no samples collected yet (auto-collect disabled)")
+		return snapshot{}, fmt.Errorf("core: no samples collected yet (auto-collect disabled)")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if snap = e.snapshotLocked(); snap.rate > 0 {
+		return snap, nil
 	}
 	if err := e.src.EnsureRate(defaultAggregateRate); err != nil {
-		return 0, err
+		return snapshot{}, err
 	}
-	return e.src.Rate(), nil
+	return e.snapshotLocked(), nil
 }
 
 // Histogram releases an ε-DP band histogram over the given boundaries
@@ -37,20 +42,20 @@ func (e *Engine) ensureSamples() (float64, error) {
 // whole histogram costs one ε). The effective amplified budget
 // ln(1+p(e^ε−1)) is charged to the accountant and returned.
 func (e *Engine) Histogram(boundaries []float64, epsilon float64) (*histogram.Histogram, float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	rate, err := e.ensureSamples()
+	snap, err := e.collectedSnapshot()
 	if err != nil {
 		return nil, 0, err
 	}
-	b := histogram.Builder{P: rate}
+	b := histogram.Builder{P: snap.rate}
 	effective, err := b.EffectiveEpsilon(epsilon)
 	if err != nil {
 		return nil, 0, err
 	}
+	e.releaseMu.Lock()
+	defer e.releaseMu.Unlock()
 	// Compute first, charge second: a failed computation must not burn
 	// budget, and an uncharged result is simply not returned.
-	h, err := b.Private(e.src.SampleSets(), boundaries, epsilon, e.rng)
+	h, err := b.Private(snap.sets, boundaries, epsilon, e.rng)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -66,18 +71,18 @@ func (e *Engine) Histogram(boundaries []float64, epsilon float64) (*histogram.Hi
 // exponential mechanism plus noisy counts; see internal/topk). The
 // effective amplified budget is charged and returned.
 func (e *Engine) TopK(k int, epsilon float64) ([]topk.Hitter, float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	rate, err := e.ensureSamples()
+	snap, err := e.collectedSnapshot()
 	if err != nil {
 		return nil, 0, err
 	}
-	effective, err := dp.AmplifyBySampling(epsilon, rate)
+	effective, err := dp.AmplifyBySampling(epsilon, snap.rate)
 	if err != nil {
 		return nil, 0, err
 	}
-	est := topk.Estimator{P: rate}
-	hitters, err := est.PrivateTop(e.src.SampleSets(), k, epsilon, e.rng)
+	est := topk.Estimator{P: snap.rate}
+	e.releaseMu.Lock()
+	defer e.releaseMu.Unlock()
+	hitters, err := est.PrivateTop(snap.sets, k, epsilon, e.rng)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -93,18 +98,18 @@ func (e *Engine) TopK(k int, epsilon float64) ([]topk.Hitter, float64, error) {
 // over the collected samples. The effective amplified budget is charged
 // and returned alongside the value.
 func (e *Engine) Quantile(q, epsilon float64) (float64, float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	rate, err := e.ensureSamples()
+	snap, err := e.collectedSnapshot()
 	if err != nil {
 		return 0, 0, err
 	}
-	effective, err := dp.AmplifyBySampling(epsilon, rate)
+	effective, err := dp.AmplifyBySampling(epsilon, snap.rate)
 	if err != nil {
 		return 0, 0, err
 	}
-	est := quantile.Estimator{P: rate}
-	v, err := est.PrivateQuantile(e.src.SampleSets(), q, epsilon, e.rng)
+	est := quantile.Estimator{P: snap.rate}
+	e.releaseMu.Lock()
+	defer e.releaseMu.Unlock()
+	v, err := est.PrivateQuantile(snap.sets, q, epsilon, e.rng)
 	if err != nil {
 		return 0, 0, err
 	}

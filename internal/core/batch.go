@@ -5,6 +5,7 @@ import (
 
 	"privrange/internal/dp"
 	"privrange/internal/estimator"
+	"privrange/internal/stats"
 )
 
 // AnswerBatch serves many range queries at one shared accuracy level.
@@ -14,9 +15,13 @@ import (
 // releases compose sequentially — the total m·ε′ is charged up front,
 // all-or-nothing). The answer cache is bypassed: batch semantics promise
 // independent noise per query.
+//
+// Per-query estimation and perturbation fan out across a bounded worker
+// pool. One draw from the engine's seeded RNG keys the batch; query i
+// perturbs with the independent split stream (batchKey, i), so the noise
+// is fresh per batch yet the released values are bit-identical for a
+// fixed seed and call sequence regardless of GOMAXPROCS or scheduling.
 func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) ([]*Answer, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
@@ -25,7 +30,7 @@ func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) 
 			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
-	plan, err := e.plan(acc)
+	plan, snap, err := e.planFor(acc, e.readSnapshot())
 	if err != nil {
 		return nil, err
 	}
@@ -33,29 +38,34 @@ func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) 
 	if err != nil {
 		return nil, err
 	}
+	e.releaseMu.Lock()
 	if e.accountant != nil {
 		if err := e.accountant.Spend(plan.EpsilonPrime * float64(len(queries))); err != nil {
+			e.releaseMu.Unlock()
 			return nil, err
 		}
 	}
-	rate := e.src.Rate()
-	rc := estimator.RankCounting{P: rate}
-	sets := e.src.SampleSets()
+	batchKey := e.rng.Int63()
+	e.releaseMu.Unlock()
+	rc := estimator.RankCounting{P: snap.rate}
 	out := make([]*Answer, len(queries))
-	for i, q := range queries {
-		raw, err := rc.Estimate(sets, q)
+	if err := forEach(len(queries), func(i int) error {
+		raw, err := rc.Estimate(snap.sets, queries[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = &Answer{
-			Query:    q,
+			Query:    queries[i],
 			Accuracy: acc,
-			Value:    mech.Perturb(raw, e.rng),
+			Value:    mech.Perturb(raw, stats.NewStream(batchKey, int64(i))),
 			Plan:     plan,
-			Rate:     rate,
-			Nodes:    e.src.NumNodes(),
-			N:        e.src.TotalN(),
+			Rate:     snap.rate,
+			Nodes:    snap.nodes,
+			N:        snap.n,
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"privrange/internal/dp"
@@ -107,5 +108,40 @@ func TestAnswerBatchAllOrNothingBudget(t *testing.T) {
 	// A two-query batch fits.
 	if _, err := eng.AnswerBatch(queries[:2], acc); err != nil {
 		t.Errorf("affordable batch should pass: %v", err)
+	}
+}
+
+func TestAnswerBatchDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// Not parallel: mutates GOMAXPROCS for the whole process.
+	queries := []estimator.Query{
+		{L: 0, U: 40}, {L: 10, U: 90}, {L: 20, U: 140}, {L: 30, U: 190},
+		{L: 40, U: 240}, {L: 50, U: 290}, {L: 60, U: 340}, {L: 0, U: 340},
+	}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	run := func(procs int) []float64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		nw, _ := buildNetwork(t, 8, 8000, 97)
+		eng, err := New(nw, WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, err := eng.AnswerBatch(queries, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := make([]float64, len(answers))
+		for i, ans := range answers {
+			values[i] = ans.Value
+		}
+		return values
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("query %d: GOMAXPROCS=1 gives %v, GOMAXPROCS=8 gives %v — batch must be bit-identical",
+				i, serial[i], parallel[i])
+		}
 	}
 }

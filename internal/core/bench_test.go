@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"privrange/internal/estimator"
+)
+
+// BenchmarkAnswerBatchParallel measures the broker's batch hot path —
+// one shared plan, per-query estimation and noise fanned out across the
+// worker pool — over a 64-node deployment answering 64 queries per
+// batch. Compare against BenchmarkAnswerBatchSequentialQueries (the same
+// work answered one Answer call at a time) for the concurrency win.
+func BenchmarkAnswerBatchParallel(b *testing.B) {
+	nw, _ := buildNetwork(b, 64, 262144, 3)
+	eng, err := New(nw, WithSeed(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	queries := make([]estimator.Query, 64)
+	for i := range queries {
+		queries[i] = estimator.Query{L: float64(2 * i), U: float64(2*i + 120)}
+	}
+	// Warm up: collect once so the loop measures answering, not sampling.
+	if _, err := eng.AnswerBatch(queries[:1], acc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnswerBatch(queries, acc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnswerBatchSequentialQueries answers the same 64 queries as
+// individual Answer calls — the pre-batching, fully serialized baseline.
+func BenchmarkAnswerBatchSequentialQueries(b *testing.B) {
+	nw, _ := buildNetwork(b, 64, 262144, 3)
+	eng, err := New(nw, WithSeed(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	queries := make([]estimator.Query, 64)
+	for i := range queries {
+		queries[i] = estimator.Query{L: float64(2 * i), U: float64(2*i + 120)}
+	}
+	if _, err := eng.Answer(queries[0], acc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := eng.Answer(q, acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"privrange/internal/estimator"
 )
 
@@ -17,26 +19,40 @@ type answerKey struct {
 // has the variance of a single purchase.
 //
 // Entries are valid only for the dataset state they were released
-// against; any change to |D| (streaming ingestion) or to the sampling
-// rate invalidates the whole cache, because a fresh answer would be
-// computed from different samples.
+// against. Validity is keyed on (|D|, rate, sample-state version): the
+// version moves whenever the base station accepts a report that rewrites
+// any node's stored sample, which catches state changes invisible to
+// (|D|, rate) alone — e.g. a node that went down, sensed while
+// partitioned, and re-reported a redrawn sample on recovery at the same
+// rate. Any movement invalidates the whole cache, because a fresh answer
+// would be computed from different samples.
 type answerCache struct {
+	mu      sync.Mutex
 	entries map[answerKey]*Answer
 	n       int
 	rate    float64
+	version uint64
 }
 
 func newAnswerCache() *answerCache {
 	return &answerCache{entries: make(map[answerKey]*Answer)}
 }
 
+// matchesLocked reports whether the cache's recorded dataset state is
+// the snapshot's.
+func (c *answerCache) matchesLocked(snap snapshot) bool {
+	return c.n == snap.n && c.rate == snap.rate && c.version == snap.version
+}
+
 // lookup returns the cached answer for the request if the dataset state
 // still matches.
-func (c *answerCache) lookup(q estimator.Query, acc estimator.Accuracy, n int, rate float64) (*Answer, bool) {
+func (c *answerCache) lookup(q estimator.Query, acc estimator.Accuracy, snap snapshot) (*Answer, bool) {
 	if c == nil {
 		return nil, false
 	}
-	if n != c.n || rate != c.rate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.matchesLocked(snap) {
 		return nil, false
 	}
 	ans, ok := c.entries[answerKey{l: q.L, u: q.U, alpha: acc.Alpha, delta: acc.Delta}]
@@ -45,14 +61,17 @@ func (c *answerCache) lookup(q estimator.Query, acc estimator.Accuracy, n int, r
 
 // store records a released answer, resetting the cache when the dataset
 // state moved since the last store.
-func (c *answerCache) store(ans *Answer, n int, rate float64) {
+func (c *answerCache) store(ans *Answer, snap snapshot) {
 	if c == nil {
 		return
 	}
-	if n != c.n || rate != c.rate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.matchesLocked(snap) {
 		c.entries = make(map[answerKey]*Answer)
-		c.n = n
-		c.rate = rate
+		c.n = snap.n
+		c.rate = snap.rate
+		c.version = snap.version
 	}
 	key := answerKey{l: ans.Query.L, u: ans.Query.U, alpha: ans.Accuracy.Alpha, delta: ans.Accuracy.Delta}
 	c.entries[key] = ans

@@ -140,3 +140,57 @@ func TestCacheDefeatsAveraging(t *testing.T) {
 	}
 	_ = truth // the deviation of mean equals the single-answer deviation by construction
 }
+
+func TestCacheInvalidatedByRecoveryAtSameRate(t *testing.T) {
+	t.Parallel()
+	// Regression for stale cache hits: a node that partitions, senses new
+	// data while down, and then recovers is re-collected at the SAME n and
+	// rate the cache already recorded — only the sample-state version
+	// reveals that the answer's underlying samples no longer exist.
+	nw, _ := buildNetwork(t, 4, 6000, 73)
+	acct, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithSeed(5), WithAccountant(acct), WithAnswerCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 20, U: 120}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	if _, err := eng.Answer(q, acc); err != nil {
+		t.Fatal(err)
+	}
+	rate := nw.Rate()
+	if err := nw.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Ingest(0, []float64{40, 50, 60}); err != nil {
+		t.Fatal(err)
+	}
+	// Answered and cached against node 0's stale pre-partition sample.
+	if _, err := eng.Answer(q, acc); err != nil {
+		t.Fatal(err)
+	}
+	spent := acct.Spent()
+	if err := nw.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.EnsureRate(rate); err != nil {
+		t.Fatal(err)
+	}
+	// Guard the scenario: the recovery refresh changed neither n nor rate.
+	if got := nw.Rate(); got != rate {
+		t.Fatalf("recovery moved the rate %v -> %v; scenario broken", rate, got)
+	}
+	after, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Spent() == spent {
+		t.Error("answer over recovered sample state was served from the cache for free")
+	}
+	if after == nil {
+		t.Fatal("nil answer")
+	}
+}

@@ -44,6 +44,12 @@ type Source interface {
 	NumNodes() int
 	// TotalN returns |D|.
 	TotalN() int
+	// Snapshot returns one atomically consistent view of (sample sets,
+	// rate, node count, record count, sample-state version). The returned
+	// sets must be immutable — later collections must replace them, not
+	// mutate them — and version must increase whenever any node's stored
+	// sample is rewritten, even at unchanged n and rate.
+	Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64)
 }
 
 // ErrUnachievable reports that the requested accuracy cannot be met even
@@ -51,12 +57,23 @@ type Source interface {
 var ErrUnachievable = errors.New("core: accuracy unachievable even at full sampling")
 
 // Engine is the broker-side private query engine. It is safe for
-// concurrent use: every query path serializes on an internal mutex,
-// which also guards the underlying Source (network state, sample sets)
-// and the noise RNG.
+// concurrent use and built read-mostly: query paths (Answer,
+// AnswerBatch, Plan, EstimateOnly, cache hits) take a read lock just
+// long enough to capture an immutable snapshot of the source's
+// (sample sets, rate, |D|) and then estimate lock-free — independent
+// queries proceed in parallel. Sample collection (the auto-collect path
+// raising the rate) is the only writer. Release-side mutable state — the
+// noise RNG, the accountant charge and the answer cache update — sits
+// behind a separate short mutex, so for a fixed seed and call sequence
+// answers remain bit-for-bit reproducible.
 type Engine struct {
-	mu         sync.Mutex
-	src        Source
+	// mu orders queries against collection: readers snapshot the source,
+	// the plan→EnsureRate path is the only writer.
+	mu  sync.RWMutex
+	src Source
+	// releaseMu guards the noise RNG and the accountant/cache updates
+	// that accompany every release.
+	releaseMu  sync.Mutex
 	rng        *stats.RNG
 	accountant *dp.Accountant
 	auto       bool
@@ -159,21 +176,19 @@ func (a *Answer) Clamped() float64 {
 
 // Answer serves one (α, δ)-range-counting request (Definition 2.2).
 func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if cached, ok := e.cache.lookup(q, acc, e.src.TotalN(), e.src.Rate()); ok {
+	snap := e.readSnapshot()
+	if cached, ok := e.cache.lookup(q, acc, snap); ok {
 		return cached, nil
 	}
-	plan, err := e.plan(acc)
+	plan, snap, err := e.planFor(acc, snap)
 	if err != nil {
 		return nil, err
 	}
-	rate := e.src.Rate()
-	rc := estimator.RankCounting{P: rate}
-	raw, err := rc.Estimate(e.src.SampleSets(), q)
+	rc := estimator.RankCounting{P: snap.rate}
+	raw, err := rc.Estimate(snap.sets, q)
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +196,8 @@ func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, err
 	if err != nil {
 		return nil, err
 	}
+	e.releaseMu.Lock()
+	defer e.releaseMu.Unlock()
 	if e.accountant != nil {
 		if err := e.accountant.Spend(plan.EpsilonPrime); err != nil {
 			return nil, err
@@ -191,11 +208,11 @@ func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, err
 		Accuracy: acc,
 		Value:    mech.Perturb(raw, e.rng),
 		Plan:     plan,
-		Rate:     rate,
-		Nodes:    e.src.NumNodes(),
-		N:        e.src.TotalN(),
+		Rate:     snap.rate,
+		Nodes:    snap.nodes,
+		N:        snap.n,
 	}
-	e.cache.store(ans, ans.N, ans.Rate)
+	e.cache.store(ans, snap)
 	return ans, nil
 }
 
@@ -204,65 +221,78 @@ func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, err
 // separate sampling error from perturbation error (Figs 2–4). It does not
 // spend privacy budget because nothing is released.
 func (e *Engine) EstimateOnly(q estimator.Query) (float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	rate := e.src.Rate()
-	if rate <= 0 {
+	snap := e.readSnapshot()
+	if snap.rate <= 0 {
 		return 0, fmt.Errorf("core: no samples collected yet")
 	}
-	rc := estimator.RankCounting{P: rate}
-	return rc.Estimate(e.src.SampleSets(), q)
+	rc := estimator.RankCounting{P: snap.rate}
+	return rc.Estimate(snap.sets, q)
 }
 
-// plan solves problem (3) at the current rate, optionally raising the
-// rate until the request becomes feasible.
-func (e *Engine) plan(acc estimator.Accuracy) (optimize.Plan, error) {
+// solveAt solves optimization problem (3) against a snapshot. Pure: it
+// touches no engine state, so read-path callers need no lock.
+func solveAt(acc estimator.Accuracy, snap snapshot) (optimize.Plan, error) {
+	prob := optimize.Problem{
+		Accuracy: acc,
+		P:        snap.rate,
+		K:        snap.nodes,
+		N:        snap.n,
+	}
+	if prob.P <= 0 {
+		return optimize.Plan{}, optimize.ErrInfeasible
+	}
+	return prob.SolveRefined()
+}
+
+// planFor solves problem (3) for the request, optionally raising the
+// sampling rate until it becomes feasible. It returns the plan together
+// with the snapshot it was solved against: the feasible fast path reuses
+// the caller's snapshot read-locked, while the re-collection path takes
+// the writer lock, re-checks (another writer may have collected while we
+// waited), oversamples past the feasibility threshold and doubles until
+// feasible or saturated at p = 1.
+func (e *Engine) planFor(acc estimator.Accuracy, snap snapshot) (optimize.Plan, snapshot, error) {
 	if err := acc.Validate(); err != nil {
-		return optimize.Plan{}, err
+		return optimize.Plan{}, snap, err
 	}
-	k, n := e.src.NumNodes(), e.src.TotalN()
-	attempt := func() (optimize.Plan, error) {
-		prob := optimize.Problem{
-			Accuracy: acc,
-			P:        e.src.Rate(),
-			K:        k,
-			N:        n,
-		}
-		if prob.P <= 0 {
-			return optimize.Plan{}, optimize.ErrInfeasible
-		}
-		return prob.SolveRefined()
-	}
-	plan, err := attempt()
+	plan, err := solveAt(acc, snap)
 	if err == nil {
-		return plan, nil
+		return plan, snap, nil
 	}
 	if !errors.Is(err, optimize.ErrInfeasible) || !e.auto {
-		return optimize.Plan{}, err
+		return optimize.Plan{}, snap, err
 	}
-	// Re-collection path: oversample past the feasibility threshold, then
-	// double until feasible or saturated at p = 1.
-	need, rerr := estimator.RequiredProbability(acc, k, n)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap = e.snapshotLocked()
+	if plan, err = solveAt(acc, snap); err == nil {
+		return plan, snap, nil
+	}
+	if !errors.Is(err, optimize.ErrInfeasible) {
+		return optimize.Plan{}, snap, err
+	}
+	need, rerr := estimator.RequiredProbability(acc, snap.nodes, snap.n)
 	if rerr != nil {
-		return optimize.Plan{}, rerr
+		return optimize.Plan{}, snap, rerr
 	}
 	target := math.Min(1, need*e.margin)
-	if cur := e.src.Rate(); target <= cur {
-		target = math.Min(1, cur*2)
+	if target <= snap.rate {
+		target = math.Min(1, snap.rate*2)
 	}
 	for {
 		if err := e.src.EnsureRate(target); err != nil {
-			return optimize.Plan{}, err
+			return optimize.Plan{}, snap, err
 		}
-		plan, err := attempt()
+		snap = e.snapshotLocked()
+		plan, err := solveAt(acc, snap)
 		if err == nil {
-			return plan, nil
+			return plan, snap, nil
 		}
 		if !errors.Is(err, optimize.ErrInfeasible) {
-			return optimize.Plan{}, err
+			return optimize.Plan{}, snap, err
 		}
 		if target >= 1 {
-			return optimize.Plan{}, fmt.Errorf("%w: %v", ErrUnachievable, err)
+			return optimize.Plan{}, snap, fmt.Errorf("%w: %v", ErrUnachievable, err)
 		}
 		target = math.Min(1, target*2)
 	}
@@ -272,19 +302,8 @@ func (e *Engine) plan(acc estimator.Accuracy) (optimize.Plan, error) {
 // answering it (used for quoting prices before purchase). It never
 // changes the sampling rate and spends no budget.
 func (e *Engine) Plan(acc estimator.Accuracy) (optimize.Plan, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if err := acc.Validate(); err != nil {
 		return optimize.Plan{}, err
 	}
-	prob := optimize.Problem{
-		Accuracy: acc,
-		P:        e.src.Rate(),
-		K:        e.src.NumNodes(),
-		N:        e.src.TotalN(),
-	}
-	if prob.P <= 0 {
-		return optimize.Plan{}, optimize.ErrInfeasible
-	}
-	return prob.SolveRefined()
+	return solveAt(acc, e.readSnapshot())
 }

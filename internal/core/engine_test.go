@@ -12,7 +12,7 @@ import (
 	"privrange/internal/iot"
 )
 
-func buildNetwork(t *testing.T, k, records int, seed int64) (*iot.Network, *dataset.Series) {
+func buildNetwork(t testing.TB, k, records int, seed int64) (*iot.Network, *dataset.Series) {
 	t.Helper()
 	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: seed, Records: records})
 	if err != nil {

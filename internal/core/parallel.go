@@ -1,0 +1,60 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelMinBatch is the work-item count below which forEach stays on
+// the calling goroutine — a two-query batch is cheaper answered inline
+// than through a pool.
+const parallelMinBatch = 4
+
+// forEach runs fn(i) for every i in [0, n) and returns the first error.
+// Above parallelMinBatch (and with more than one P available) the items
+// fan out across at most GOMAXPROCS workers; items are handed out by
+// atomic counter so uneven per-item cost still balances. fn must be safe
+// to call concurrently and must not assume any ordering.
+func forEach(n int, fn func(int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n < parallelMinBatch || workers < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

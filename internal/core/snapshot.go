@@ -1,0 +1,34 @@
+package core
+
+import "privrange/internal/sampling"
+
+// snapshot is one immutable, atomically consistent view of the source —
+// everything a query needs once planning is done. Estimation runs
+// lock-free against it: collections replace the underlying sample sets
+// rather than mutating them, so a snapshot taken before a collection
+// stays valid afterwards (it just describes the older state).
+type snapshot struct {
+	sets []*sampling.SampleSet
+	rate float64
+	// nodes is k and n is |D| at capture time.
+	nodes, n int
+	// version is the source's monotonic sample-state version: it moves
+	// whenever any node's stored sample is rewritten, even at unchanged
+	// (n, rate) — e.g. a recovered node re-reporting a redrawn sample.
+	version uint64
+}
+
+// snapshotLocked captures the source state. Callers must hold e.mu in
+// either mode (read for queries, write during collection).
+func (e *Engine) snapshotLocked() snapshot {
+	var s snapshot
+	s.sets, s.rate, s.nodes, s.n, s.version = e.src.Snapshot()
+	return s
+}
+
+// readSnapshot captures the source state under the engine's read lock.
+func (e *Engine) readSnapshot() snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snapshotLocked()
+}

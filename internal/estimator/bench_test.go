@@ -10,9 +10,10 @@ import (
 )
 
 // benchSets prepares per-node sample sets once for the hot-path benches.
-func benchSets(b *testing.B, k int, p float64) []*sampling.SampleSet {
+// records == 0 selects the default CityPulse-scale series.
+func benchSets(b *testing.B, k, records int, p float64) []*sampling.SampleSet {
 	b.Helper()
-	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 1})
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 1, Records: records})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func benchSets(b *testing.B, k int, p float64) []*sampling.SampleSet {
 // BenchmarkRankCountingEstimate measures one global estimate over the
 // CityPulse-scale deployment (k=16, p=0.3) — the broker's inner loop.
 func BenchmarkRankCountingEstimate(b *testing.B) {
-	sets := benchSets(b, 16, 0.3)
+	sets := benchSets(b, 16, 0, 0.3)
 	rc := RankCounting{P: 0.3}
 	q := Query{L: 40, U: 120}
 	b.ResetTimer()
@@ -53,7 +54,7 @@ func BenchmarkRankCountingEstimate(b *testing.B) {
 // BenchmarkBasicCountingEstimate is the baseline estimator's cost on the
 // same sets.
 func BenchmarkBasicCountingEstimate(b *testing.B) {
-	sets := benchSets(b, 16, 0.3)
+	sets := benchSets(b, 16, 0, 0.3)
 	bc := BasicCounting{P: 0.3}
 	q := Query{L: 40, U: 120}
 	b.ResetTimer()
@@ -62,5 +63,48 @@ func BenchmarkBasicCountingEstimate(b *testing.B) {
 		if _, err := bc.Estimate(sets, q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSink keeps the compiler from eliding the estimate loop.
+var benchSink float64
+
+// BenchmarkEstimateSequential is the single-threaded per-node loop over
+// a 256-node deployment — the baseline the parallel path must beat.
+func BenchmarkEstimateSequential(b *testing.B) {
+	sets := benchSets(b, 256, 1_048_576, 0.3)
+	rc := RankCounting{P: 0.3}
+	q := Query{L: 40, U: 120}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for _, set := range sets {
+			est, err := rc.estimateNode(set, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += est
+		}
+		benchSink = total
+	}
+}
+
+// BenchmarkEstimateParallel is the same 256-node estimate through the
+// worker-pool path (Estimate fans out at k >= parallelMinSets). On a
+// multi-core runner it should beat BenchmarkEstimateSequential by >= 2x;
+// the released value is bit-identical either way.
+func BenchmarkEstimateParallel(b *testing.B) {
+	sets := benchSets(b, 256, 1_048_576, 0.3)
+	rc := RankCounting{P: 0.3}
+	q := Query{L: 40, U: 120}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, err := rc.Estimate(sets, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = est
 	}
 }

@@ -67,6 +67,12 @@ func (b BasicCounting) EstimateNode(set *sampling.SampleSet, q Query) (float64, 
 	if err := validateSets([]*sampling.SampleSet{set}, b.P, q); err != nil {
 		return 0, err
 	}
+	return b.estimateNode(set, q)
+}
+
+// estimateNode is EstimateNode without the precondition checks, for the
+// hot loop where Estimate has already validated the whole batch.
+func (b BasicCounting) estimateNode(set *sampling.SampleSet, q Query) (float64, error) {
 	c, err := set.CountInRange(q.L, q.U)
 	if err != nil {
 		return 0, err
@@ -75,20 +81,16 @@ func (b BasicCounting) EstimateNode(set *sampling.SampleSet, q Query) (float64, 
 }
 
 // Estimate estimates the global count γ(l, u, D) as the sum of per-node
-// estimates.
+// estimates. Across many nodes the per-node work fans out over a bounded
+// worker pool (see sumNodes); the result is bit-identical to the
+// sequential sum.
 func (b BasicCounting) Estimate(sets []*sampling.SampleSet, q Query) (float64, error) {
 	if err := validateSets(sets, b.P, q); err != nil {
 		return 0, err
 	}
-	total := 0.0
-	for _, set := range sets {
-		est, err := b.EstimateNode(set, q)
-		if err != nil {
-			return 0, err
-		}
-		total += est
-	}
-	return total, nil
+	return sumNodes(len(sets), func(i int) (float64, error) {
+		return b.estimateNode(sets[i], q)
+	})
 }
 
 // VarianceBound returns the estimator's variance γ(1−p)/p for a query
@@ -118,6 +120,12 @@ func (r RankCounting) EstimateNode(set *sampling.SampleSet, q Query) (float64, e
 	if err := validateSets([]*sampling.SampleSet{set}, r.P, q); err != nil {
 		return 0, err
 	}
+	return r.estimateNode(set, q)
+}
+
+// estimateNode is EstimateNode without the precondition checks, for the
+// hot loop where Estimate has already validated the whole batch.
+func (r RankCounting) estimateNode(set *sampling.SampleSet, q Query) (float64, error) {
 	pred, hasPred := set.PredecessorStrict(q.L)
 	succ, hasSucc := set.SuccessorStrict(q.U)
 	switch {
@@ -136,20 +144,16 @@ func (r RankCounting) EstimateNode(set *sampling.SampleSet, q Query) (float64, e
 }
 
 // Estimate computes the global estimate γ̂(l, u, S) = Σ_i γ̂(l, u, i)
-// (Equation 2).
+// (Equation 2). Across many nodes the per-node work fans out over a
+// bounded worker pool (see sumNodes); the result is bit-identical to the
+// sequential sum.
 func (r RankCounting) Estimate(sets []*sampling.SampleSet, q Query) (float64, error) {
 	if err := validateSets(sets, r.P, q); err != nil {
 		return 0, err
 	}
-	total := 0.0
-	for _, set := range sets {
-		est, err := r.EstimateNode(set, q)
-		if err != nil {
-			return 0, err
-		}
-		total += est
-	}
-	return total, nil
+	return sumNodes(len(sets), func(i int) (float64, error) {
+		return r.estimateNode(sets[i], q)
+	})
 }
 
 // NodeVarianceBound returns the per-node bound 8/p² (Theorem 3.1).

@@ -1,0 +1,76 @@
+package estimator
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinSets is the node count below which the estimators keep the
+// plain sequential loop: for micro-deployments the per-node work (a few
+// binary searches) is far cheaper than spawning a worker pool.
+const parallelMinSets = 32
+
+// sumNodes evaluates node(i) for every i in [0, k) and returns the sum
+// taken in index order. At or above parallelMinSets (and with more than
+// one P available) the evaluations fan out over a bounded worker pool —
+// one contiguous chunk per GOMAXPROCS worker. The reduction always adds
+// per-node terms in index order, so the result is bit-identical to the
+// sequential loop regardless of worker count or scheduling.
+func sumNodes(k int, node func(int) (float64, error)) (float64, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if k < parallelMinSets || workers < 2 {
+		total := 0.0
+		for i := 0; i < k; i++ {
+			est, err := node(i)
+			if err != nil {
+				return 0, err
+			}
+			total += est
+		}
+		return total, nil
+	}
+	if workers > k {
+		workers = k
+	}
+	per := make([]float64, k)
+	chunk := (k + workers - 1) / workers
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				est, err := node(i)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				per[i] = est
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	total := 0.0
+	for _, est := range per {
+		total += est
+	}
+	return total, nil
+}

@@ -13,6 +13,11 @@ import (
 type BaseStation struct {
 	sets map[int]*sampling.SampleSet
 	seen map[int]bool
+	// version counts accepted reports: every write to any node's stored
+	// sample bumps it. Consumers (the broker's answer cache) use it to
+	// detect that sample state moved even when |D| and the rate did not —
+	// e.g. a recovered node re-reporting a redrawn sample.
+	version uint64
 }
 
 // NewBaseStation returns an empty base station.
@@ -39,6 +44,7 @@ func (b *BaseStation) HandleReport(rep *wire.SampleReport) error {
 			return fmt.Errorf("iot: node %d replace report: %w", rep.NodeID, err)
 		}
 		b.sets[rep.NodeID] = set
+		b.version++
 		return nil
 	}
 	if existing.N != rep.N {
@@ -51,8 +57,13 @@ func (b *BaseStation) HandleReport(rep *wire.SampleReport) error {
 		return fmt.Errorf("iot: node %d merged report: %w", rep.NodeID, err)
 	}
 	b.sets[rep.NodeID] = set
+	b.version++
 	return nil
 }
+
+// Version returns the monotonic sample-state version: how many reports
+// have been accepted. Any change to the stored samples changes it.
+func (b *BaseStation) Version() uint64 { return b.version }
 
 // mergeByRank merges two rank-sorted sample slices, rejecting nothing:
 // duplicates cannot occur because nodes never reship a rank within a

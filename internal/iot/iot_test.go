@@ -749,3 +749,97 @@ func TestAddNodeJoinsDeployment(t *testing.T) {
 		t.Errorf("estimate %v vs truth %d beyond 6σ", est, truth)
 	}
 }
+
+func TestTransmitGiveUpBillsEveryAttempt(t *testing.T) {
+	t.Parallel()
+	parts, _ := buildParts(t, 1, 50, 53)
+	// LossRate so close to 1 that every attempt drops: transmit must give
+	// up after 1 + MaxRetries attempts.
+	nw, err := New(parts, Config{Seed: 59, LossRate: 0.999999, MaxRetries: 2, FreeHeartbeatSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &wire.SampleReport{NodeID: 0, N: 3, Replace: true, Samples: []sampling.Sample{
+		{Value: 1, Rank: 1}, {Value: 2, Rank: 2},
+	}}
+	data, err := wire.Encode(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.transmit(0, rep); err == nil {
+		t.Fatal("expected give-up under total loss")
+	}
+	cost := nw.Cost()
+	// All 3 attempts (1 + MaxRetries) crossed the link and cost bytes...
+	if want := int64(len(data)) * 3; cost.Bytes != want {
+		t.Errorf("bytes = %d, want %d (every attempt billed)", cost.Bytes, want)
+	}
+	if cost.Retransmissions != 2 {
+		t.Errorf("retransmissions = %d, want 2", cost.Retransmissions)
+	}
+	// ...but nothing arrived end to end: no message, no shipped samples.
+	if cost.Messages != 0 {
+		t.Errorf("messages = %d, want 0 for an undelivered message", cost.Messages)
+	}
+	if cost.SamplesShipped != 0 {
+		t.Errorf("samples shipped = %d, want 0 for an undelivered report", cost.SamplesShipped)
+	}
+	if cost.PiggybackedReports != 0 {
+		t.Errorf("piggybacked = %d, want 0", cost.PiggybackedReports)
+	}
+	// A lossless twin delivers the same message and bills it exactly once.
+	clean, err := New(parts, Config{Seed: 59, FreeHeartbeatSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.transmit(0, rep); err != nil {
+		t.Fatal(err)
+	}
+	got := clean.Cost()
+	if got.Bytes != int64(len(data)) || got.Messages != 1 || got.SamplesShipped != 2 || got.Retransmissions != 0 {
+		t.Errorf("lossless bill = %+v, want 1 message, %d bytes, 2 samples", got, len(data))
+	}
+}
+
+func TestStateVersionBumpsOnAcceptedReports(t *testing.T) {
+	t.Parallel()
+	parts, _ := buildParts(t, 3, 600, 61)
+	nw, err := New(parts, Config{Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.StateVersion() != 0 {
+		t.Fatalf("fresh network version = %d, want 0", nw.StateVersion())
+	}
+	if err := nw.EnsureRate(0.3); err != nil {
+		t.Fatal(err)
+	}
+	v1 := nw.StateVersion()
+	if v1 == 0 {
+		t.Fatal("collection must bump the sample-state version")
+	}
+	// Re-ensuring an already-satisfied rate touches nothing.
+	if err := nw.EnsureRate(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if nw.StateVersion() != v1 {
+		t.Errorf("idle EnsureRate moved version %d -> %d", v1, nw.StateVersion())
+	}
+	// A recovered node re-reports, moving the version even at the same
+	// (n, rate).
+	if err := nw.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Ingest(1, []float64{50, 51}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.EnsureRate(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if nw.StateVersion() == v1 {
+		t.Error("recovery refresh must move the sample-state version")
+	}
+}

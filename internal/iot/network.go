@@ -3,6 +3,7 @@ package iot
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"privrange/internal/sampling"
 	"privrange/internal/stats"
@@ -70,8 +71,13 @@ type CostReport struct {
 }
 
 // Network wires k nodes to a base station under a topology and accounts
-// for every byte exchanged.
+// for every byte exchanged. It is safe for concurrent use: collection,
+// ingestion and membership changes serialize behind a writer lock, while
+// read paths (rates, counts, sample sets, snapshots) share a read lock.
+// Stored sample sets are immutable once published — collection replaces
+// them — so a snapshot taken before a collection remains valid after it.
 type Network struct {
+	mu    sync.RWMutex
 	cfg   Config
 	nodes []*Node
 	base  *BaseStation
@@ -134,10 +140,20 @@ func New(parts [][]float64, cfg Config) (*Network, error) {
 }
 
 // NumNodes returns k.
-func (nw *Network) NumNodes() int { return len(nw.nodes) }
+func (nw *Network) NumNodes() int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return len(nw.nodes)
+}
 
 // TotalN returns |D| = Σ n_i.
 func (nw *Network) TotalN() int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.totalN()
+}
+
+func (nw *Network) totalN() int {
 	total := 0
 	for _, n := range nw.nodes {
 		total += n.Len()
@@ -151,6 +167,12 @@ func (nw *Network) TotalN() int {
 // guarantee degrades to the stale nodes' rate rather than silently
 // overstating accuracy.
 func (nw *Network) Rate() float64 {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.rate()
+}
+
+func (nw *Network) rate() float64 {
 	if len(nw.nodeRate) < len(nw.nodes) {
 		return 0
 	}
@@ -194,8 +216,10 @@ func (nw *Network) hops(id int) int {
 // transmit codecs a message end to end and bills it: hop-weighted bytes
 // plus message and sample counters. Reports small enough to piggyback on
 // heartbeats are free of byte cost, matching the paper's argument. With
-// a lossy link each attempt may drop; attempts are retried (and billed)
-// up to the configured bound.
+// a lossy link each attempt may drop; attempts are retried up to the
+// configured bound. Bytes are billed for every attempt made (delivered
+// or not), while Messages, SamplesShipped and PiggybackedReports count
+// only what actually arrives end to end.
 func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 	data, err := wire.Encode(m)
 	if err != nil {
@@ -208,30 +232,33 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 	if consumed != len(data) {
 		return nil, fmt.Errorf("iot: trailing bytes after decode (%d of %d)", consumed, len(data))
 	}
-	nw.cost.Messages++
-	free := false
-	if rep, ok := decoded.(*wire.SampleReport); ok {
-		nw.cost.SamplesShipped += len(rep.Samples)
-		if nw.cfg.FreeHeartbeatSamples > 0 && len(rep.Samples) <= nw.cfg.FreeHeartbeatSamples {
-			free = true
-			nw.cost.PiggybackedReports++
+	rep, isReport := decoded.(*wire.SampleReport)
+	free := isReport && nw.cfg.FreeHeartbeatSamples > 0 && len(rep.Samples) <= nw.cfg.FreeHeartbeatSamples
+	billBytes := func(attempts int) {
+		if !free {
+			nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
 		}
 	}
 	attempts := 1
 	for nw.cfg.LossRate > 0 && nw.rng.Bernoulli(nw.cfg.LossRate) {
 		if attempts > nw.cfg.MaxRetries {
-			// Bill the failed attempts before giving up.
-			if !free {
-				nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts-1)
-			}
+			// Give up. Every one of the attempts crossed the link and costs
+			// bytes, but nothing arrived: no end-to-end message, no shipped
+			// samples, no piggyback discount to record.
+			billBytes(attempts)
 			nw.cost.Retransmissions += attempts - 1
 			return nil, fmt.Errorf("iot: message to/from node %d lost after %d attempts", id, attempts)
 		}
 		attempts++
 	}
 	nw.cost.Retransmissions += attempts - 1
-	if !free {
-		nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
+	billBytes(attempts)
+	nw.cost.Messages++
+	if isReport {
+		nw.cost.SamplesShipped += len(rep.Samples)
+		if free {
+			nw.cost.PiggybackedReports++
+		}
 	}
 	return decoded, nil
 }
@@ -242,6 +269,12 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 // samples up (only the new samples travel); lowering it is a no-op —
 // the richer sample already satisfies any weaker requirement.
 func (nw *Network) EnsureRate(p float64) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.ensureRate(p)
+}
+
+func (nw *Network) ensureRate(p float64) error {
 	if p < 0 || p > 1 {
 		return fmt.Errorf("iot: rate %v outside [0, 1]", p)
 	}
@@ -285,6 +318,8 @@ func (nw *Network) AddNode(values []float64) (int, error) {
 	if len(values) == 0 {
 		return 0, fmt.Errorf("iot: a joining node needs initial readings")
 	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	id := len(nw.nodes)
 	node := NewNode(id, nw.cfg.Seed+int64(id)*7919)
 	node.Load(values)
@@ -299,6 +334,8 @@ func (nw *Network) AddNode(values []float64) (int, error) {
 // Bringing it back marks it dirty so the next collection round refreshes
 // it, catching up on anything it sensed while partitioned.
 func (nw *Network) SetDown(nodeID int, down bool) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	if nodeID < 0 || nodeID >= len(nw.nodes) {
 		return fmt.Errorf("iot: no node %d", nodeID)
 	}
@@ -316,12 +353,16 @@ func (nw *Network) SetDown(nodeID int, down bool) error {
 
 // LiveNodes returns the number of reachable nodes.
 func (nw *Network) LiveNodes() int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	return len(nw.nodes) - len(nw.down)
 }
 
 // Coverage returns the fraction of records held by reachable nodes —
 // the freshness guarantee the base station can currently offer.
 func (nw *Network) Coverage() float64 {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	total, live := 0, 0
 	for _, node := range nw.nodes {
 		total += node.Len()
@@ -340,6 +381,12 @@ func (nw *Network) Coverage() float64 {
 // rate — refreshes it, and queries in between still see a consistent
 // (pre-ingest) snapshot at the base station.
 func (nw *Network) Ingest(nodeID int, values []float64) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.ingest(nodeID, values)
+}
+
+func (nw *Network) ingest(nodeID int, values []float64) error {
 	if nodeID < 0 || nodeID >= len(nw.nodes) {
 		return fmt.Errorf("iot: no node %d", nodeID)
 	}
@@ -356,20 +403,24 @@ func (nw *Network) Ingest(nodeID int, values []float64) error {
 // long-term continuous-collection loop the paper's related work targets.
 // perNode[i] goes to node i; len(perNode) must equal NumNodes.
 func (nw *Network) IngestRound(perNode [][]float64) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	if len(perNode) != len(nw.nodes) {
 		return fmt.Errorf("iot: round has %d node batches, network has %d nodes", len(perNode), len(nw.nodes))
 	}
 	for id, values := range perNode {
-		if err := nw.Ingest(id, values); err != nil {
+		if err := nw.ingest(id, values); err != nil {
 			return err
 		}
 	}
-	return nw.EnsureRate(nw.Rate())
+	return nw.ensureRate(nw.rate())
 }
 
 // HeartbeatRound delivers one liveness heartbeat from every node,
 // billing ordinary baseline traffic.
 func (nw *Network) HeartbeatRound() error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	for _, node := range nw.nodes {
 		decoded, err := nw.transmit(node.ID(), node.Heartbeat())
 		if err != nil {
@@ -383,21 +434,52 @@ func (nw *Network) HeartbeatRound() error {
 }
 
 // SampleSets returns the base station's per-node sample sets, ordered by
-// node id.
+// node id. The returned sets are immutable: later collections replace
+// them rather than mutating them in place.
 func (nw *Network) SampleSets() []*sampling.SampleSet {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	return nw.base.SampleSets()
 }
 
+// Snapshot returns one atomically consistent view of the queryable
+// state: the per-node sample sets, the guaranteed sampling rate, node
+// and record counts, and the monotonic sample-state version. The broker
+// estimates against a snapshot lock-free — the sets are immutable, and
+// the version lets answer caches detect sample-state changes invisible
+// to (n, rate) alone.
+func (nw *Network) Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64) {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.base.SampleSets(), nw.rate(), len(nw.nodes), nw.totalN(), nw.base.Version()
+}
+
+// StateVersion returns the base station's monotonic sample-state
+// version (see BaseStation.Version).
+func (nw *Network) StateVersion() uint64 {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.base.Version()
+}
+
 // Cost returns the communication bill so far.
-func (nw *Network) Cost() CostReport { return nw.cost }
+func (nw *Network) Cost() CostReport {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.cost
+}
 
 // Base exposes the base station for integration with the broker layer.
+// The base station itself is not locked; callers touching it while other
+// goroutines drive the network must provide their own synchronization.
 func (nw *Network) Base() *BaseStation { return nw.base }
 
 // ExactCount returns the true global range count by asking every node —
 // the expensive path the paper's sampling avoids; used as experiment
 // ground truth (and not billed).
 func (nw *Network) ExactCount(l, u float64) (int, error) {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	total := 0
 	for _, node := range nw.nodes {
 		c, err := node.CountRange(l, u)

@@ -48,6 +48,16 @@ func (r *RNG) Child(id int64) *RNG {
 	return &RNG{rand: rand.New(rand.NewSource(int64(splitmix(base ^ splitmix(uint64(id))))))}
 }
 
+// NewStream derives a deterministic RNG for one stream of a family
+// identified by (seed, stream). Distinct pairs yield uncorrelated
+// streams. Unlike Child it consumes no parent state, so callers can
+// construct streams concurrently and in any order — the broker's batch
+// path hands query i the stream (batchSeed, i) and gets bit-identical
+// noise regardless of scheduling.
+func NewStream(seed, stream int64) *RNG {
+	return &RNG{rand: rand.New(rand.NewSource(int64(splitmix(splitmix(uint64(seed)) ^ splitmix(uint64(stream))))))}
+}
+
 // splitmix is the SplitMix64 finalizer, a strong 64-bit mixing function.
 func splitmix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

@@ -111,7 +111,10 @@ type Options struct {
 }
 
 // System is a self-contained deployment: simulated IoT network, base
-// station, and private query engine over one dataset.
+// station, and private query engine over one dataset. A System is safe
+// for concurrent use — queries estimate in parallel against immutable
+// sample snapshots while ingestion and collection serialize behind
+// writer locks (see DESIGN.md §6 for the concurrency model).
 type System struct {
 	network    *iot.Network
 	engine     *core.Engine
