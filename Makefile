@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all check build vet test race cover bench experiments examples fuzz clean
+.PHONY: all check build vet test race cover bench experiments examples fuzz chaos clean
 
 all: build vet test
 
-# check is the pre-merge gate: compile, static analysis, tests.
-check: build vet test
+# check is the pre-merge gate: compile, static analysis, tests, and the
+# fault-injection matrix under the race detector.
+check: build vet test chaos
 
 build:
 	$(GO) build ./...
@@ -44,6 +45,12 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+
+# Fault-injection matrix (per-node loss × corruption × crash/recover
+# churn) plus the end-to-end degraded-deployment scenario, all under the
+# race detector. See DESIGN.md §7 for the failure model these exercise.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/iot/ .
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -36,14 +36,14 @@ func main() {
 	}
 
 	// Stage 1: coarse collection good enough for loose queries.
-	if err := nw.EnsureRate(0.05); err != nil {
+	if _, err := nw.EnsureRate(0.05); err != nil {
 		log.Fatal(err)
 	}
 	report("initial collection (p=0.05):")
 
 	// Stage 2: a tighter query arrives; top up to p=0.25. Only the new
 	// samples ship.
-	if err := nw.EnsureRate(0.25); err != nil {
+	if _, err := nw.EnsureRate(0.25); err != nil {
 		log.Fatal(err)
 	}
 	report("top-up to p=0.25:")
@@ -67,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tree.EnsureRate(0.25); err != nil {
+	if _, err := tree.EnsureRate(0.25); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("routing cost at p=0.25: flat=%d bytes, binary tree=%d bytes (%.1fx)\n",

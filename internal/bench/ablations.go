@@ -177,7 +177,7 @@ func AblationTopology(c Config) (*Result, error) {
 			if err != nil {
 				return iot.CostReport{}, err
 			}
-			if err := nw.EnsureRate(0.1); err != nil {
+			if _, err := nw.EnsureRate(0.1); err != nil {
 				return iot.CostReport{}, err
 			}
 			return nw.Cost(), nil

@@ -31,10 +31,13 @@ func (e *Engine) collectedSnapshot() (snapshot, error) {
 	if snap = e.snapshotLocked(); snap.rate > 0 {
 		return snap, nil
 	}
-	if err := e.src.EnsureRate(defaultAggregateRate); err != nil {
+	if _, err := e.src.EnsureRate(defaultAggregateRate); err != nil && !e.tolerable(err) {
 		return snapshot{}, err
 	}
-	return e.snapshotLocked(), nil
+	if snap = e.snapshotLocked(); snap.rate <= 0 {
+		return snapshot{}, fmt.Errorf("core: collection failed to establish a sampling rate")
+	}
+	return snap, nil
 }
 
 // Histogram releases an ε-DP band histogram over the given boundaries

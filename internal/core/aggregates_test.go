@@ -139,7 +139,7 @@ func TestAggregatesWithoutAutoCollect(t *testing.T) {
 		t.Error("quantile without samples and auto-collect should fail")
 	}
 	// After manual collection both work.
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := eng.Histogram(aqiBands, 1); err != nil {

@@ -55,13 +55,15 @@ func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) 
 			return err
 		}
 		out[i] = &Answer{
-			Query:    queries[i],
-			Accuracy: acc,
-			Value:    mech.Perturb(raw, stats.NewStream(batchKey, int64(i))),
-			Plan:     plan,
-			Rate:     snap.rate,
-			Nodes:    snap.nodes,
-			N:        snap.n,
+			Query:             queries[i],
+			Accuracy:          acc,
+			Value:             mech.Perturb(raw, stats.NewStream(batchKey, int64(i))),
+			Plan:              plan,
+			Rate:              snap.rate,
+			Nodes:             snap.nodes,
+			N:                 snap.n,
+			Coverage:          snap.coverage,
+			CollectionVersion: snap.version,
 		}
 		return nil
 	}); err != nil {

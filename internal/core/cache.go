@@ -19,19 +19,24 @@ type answerKey struct {
 // has the variance of a single purchase.
 //
 // Entries are valid only for the dataset state they were released
-// against. Validity is keyed on (|D|, rate, sample-state version): the
-// version moves whenever the base station accepts a report that rewrites
-// any node's stored sample, which catches state changes invisible to
-// (|D|, rate) alone — e.g. a node that went down, sensed while
-// partitioned, and re-reported a redrawn sample on recovery at the same
-// rate. Any movement invalidates the whole cache, because a fresh answer
-// would be computed from different samples.
+// against. Validity is keyed on (|D|, rate, sample-state version,
+// coverage): the version moves whenever the base station accepts a
+// report that rewrites any node's stored sample, which catches state
+// changes invisible to (|D|, rate) alone — e.g. a node that went down,
+// sensed while partitioned, and re-reported a redrawn sample on
+// recovery at the same rate. Coverage moves when a node goes down or
+// recovers even when no sample was rewritten — an answer released at
+// full coverage must not be re-served as if it described the degraded
+// deployment (or vice versa), because its provenance fields would lie.
+// Any movement invalidates the whole cache, because a fresh answer
+// would be computed from (or labeled with) different state.
 type answerCache struct {
-	mu      sync.Mutex
-	entries map[answerKey]*Answer
-	n       int
-	rate    float64
-	version uint64
+	mu       sync.Mutex
+	entries  map[answerKey]*Answer
+	n        int
+	rate     float64
+	version  uint64
+	coverage float64
 }
 
 func newAnswerCache() *answerCache {
@@ -41,7 +46,8 @@ func newAnswerCache() *answerCache {
 // matchesLocked reports whether the cache's recorded dataset state is
 // the snapshot's.
 func (c *answerCache) matchesLocked(snap snapshot) bool {
-	return c.n == snap.n && c.rate == snap.rate && c.version == snap.version
+	return c.n == snap.n && c.rate == snap.rate &&
+		c.version == snap.version && c.coverage == snap.coverage
 }
 
 // lookup returns the cached answer for the request if the dataset state
@@ -72,6 +78,7 @@ func (c *answerCache) store(ans *Answer, snap snapshot) {
 		c.n = snap.n
 		c.rate = snap.rate
 		c.version = snap.version
+		c.coverage = snap.coverage
 	}
 	key := answerKey{l: ans.Query.L, u: ans.Query.U, alpha: ans.Accuracy.Alpha, delta: ans.Accuracy.Delta}
 	c.entries[key] = ans

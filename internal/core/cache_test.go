@@ -67,7 +67,7 @@ func TestAnswerCacheInvalidatedByIngest(t *testing.T) {
 	if err := nw.Ingest(0, []float64{1, 2, 3, 4, 5}); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(nw.Rate()); err != nil {
+	if _, err := nw.EnsureRate(nw.Rate()); err != nil {
 		t.Fatal(err)
 	}
 	again, err := eng.Answer(q, acc)
@@ -176,7 +176,7 @@ func TestCacheInvalidatedByRecoveryAtSameRate(t *testing.T) {
 	if err := nw.SetDown(0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(rate); err != nil {
+	if _, err := nw.EnsureRate(rate); err != nil {
 		t.Fatal(err)
 	}
 	// Guard the scenario: the recovery refresh changed neither n nor rate.

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/estimator"
+	"privrange/internal/iot"
+)
+
+// degradedNetwork builds a deployment where the next auto-collection is
+// forced (a fresh node joined, so the network-wide rate guarantee is 0)
+// and will be partial (node 2 sits in a long crash window): the exact
+// state where strict and best-effort policies diverge.
+func degradedNetwork(t *testing.T, seed int64) *iot.Network {
+	t.Helper()
+	series, err := dataset.GenerateSeries(dataset.ParticulateMatter, dataset.GenerateConfig{Seed: seed, Records: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := series.Partition(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := iot.New(parts, iot.Config{Seed: seed, Faults: map[int]iot.FaultProfile{
+		2: {CrashWindows: []iot.CrashWindow{{From: 2, Until: 1 << 40}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 (pre-crash): everyone collected at 0.6, so node 2's stale
+	// sample will keep guaranteeing that rate throughout its outage.
+	if _, err := nw.EnsureRate(0.6); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 senses new data, so the next collection round must attempt
+	// it (dirty) — and fail, because by then it sits in its crash window.
+	if err := nw.Ingest(2, []float64{80, 90}); err != nil {
+		t.Fatal(err)
+	}
+	// A node joins; until it is collected the network-wide guarantee is 0,
+	// so the next query must drive a collection round — which will fail on
+	// the crashed node 2.
+	if _, err := nw.AddNode([]float64{30, 40, 50, 60, 70}); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestStrictPolicyFailsOnPartialCollection(t *testing.T) {
+	t.Parallel()
+	nw := degradedNetwork(t, 101)
+	eng, err := New(nw, WithSeed(1)) // Strict is the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Answer(estimator.Query{L: 20, U: 120}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5})
+	if !errors.Is(err, iot.ErrPartialRound) {
+		t.Fatalf("strict engine should surface the partial round, got %v", err)
+	}
+}
+
+func TestBestEffortAnswersAtDegradedState(t *testing.T) {
+	t.Parallel()
+	nw := degradedNetwork(t, 101)
+	eng, err := New(nw, WithSeed(1), WithDegradationPolicy(BestEffort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Answer(estimator.Query{L: 20, U: 120}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5})
+	if err != nil {
+		t.Fatalf("best-effort engine should answer over the degraded deployment: %v", err)
+	}
+	// The answer's provenance must match the network's actual state: the
+	// crashed node pins the guarantee to its stale 0.6 sample, coverage
+	// reflects the unreachable records, and the version identifies the
+	// sample state the estimate was computed from.
+	if ans.Rate != nw.Rate() {
+		t.Errorf("answer rate %v, network rate %v", ans.Rate, nw.Rate())
+	}
+	if ans.Rate != 0.6 {
+		t.Errorf("degraded guarantee should be the stale 0.6, got %v", ans.Rate)
+	}
+	if ans.Coverage != nw.Coverage() {
+		t.Errorf("answer coverage %v, network coverage %v", ans.Coverage, nw.Coverage())
+	}
+	if ans.Coverage >= 1 {
+		t.Errorf("coverage should disclose the crashed node, got %v", ans.Coverage)
+	}
+	if ans.CollectionVersion != nw.StateVersion() {
+		t.Errorf("answer version %d, network version %d", ans.CollectionVersion, nw.StateVersion())
+	}
+}
+
+func TestBestEffortStillFailsOnNonPartialErrors(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 4, 4000, 103)
+	eng, err := New(nw, WithDegradationPolicy(BestEffort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validation failures are not degradation; they propagate unchanged.
+	if _, err := eng.Answer(estimator.Query{L: 5, U: 1}, estimator.Accuracy{Alpha: 0.1, Delta: 0.5}); err == nil {
+		t.Error("malformed query must fail under any policy")
+	}
+	if _, err := eng.Answer(estimator.Query{L: 0, U: 1}, estimator.Accuracy{Alpha: 2, Delta: 0.5}); err == nil {
+		t.Error("malformed accuracy must fail under any policy")
+	}
+}
+
+func TestDegradationPolicyValidation(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 2, 100, 105)
+	if _, err := New(nw, WithDegradationPolicy(DegradationPolicy(7))); err == nil {
+		t.Error("unknown policy should be rejected at New")
+	}
+}
+
+func TestCacheInvalidatedByCoverageChange(t *testing.T) {
+	t.Parallel()
+	// A node going down changes no sample, no rate and no version — only
+	// coverage. A cached answer released at full coverage must not be
+	// re-served as if it described the degraded deployment.
+	nw, _ := buildNetwork(t, 4, 6000, 107)
+	eng, err := New(nw, WithSeed(9), WithAnswerCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 30, U: 90}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	first, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Coverage != 1 {
+		t.Fatalf("baseline coverage %v, want 1", first.Coverage)
+	}
+	if err := nw.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Value == first.Value {
+		t.Error("coverage change should invalidate the cache (same value re-served)")
+	}
+	if degraded.Coverage >= 1 {
+		t.Errorf("fresh answer should carry the degraded coverage, got %v", degraded.Coverage)
+	}
+	// Recovery restores full coverage but rewrites node 0's sample, so the
+	// version moves too — either way, no stale hit.
+	if err := nw.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.EnsureRate(nw.Rate()); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Value == degraded.Value {
+		t.Error("recovery should invalidate the degraded-era cache entry")
+	}
+	if recovered.Coverage != 1 {
+		t.Errorf("post-recovery coverage %v, want 1", recovered.Coverage)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"privrange/internal/dp"
 	"privrange/internal/estimator"
+	"privrange/internal/iot"
 	"privrange/internal/optimize"
 	"privrange/internal/sampling"
 	"privrange/internal/stats"
@@ -34,8 +35,11 @@ import (
 // iot.Network implements it.
 type Source interface {
 	// EnsureRate drives collection until the base station holds a
-	// Bernoulli(p) sample from every node.
-	EnsureRate(p float64) error
+	// Bernoulli(p) sample from every reachable node, returning a report
+	// of what the round achieved. The error is non-nil exactly when some
+	// attempted node failed (it wraps iot.ErrPartialRound); the report is
+	// valid either way and describes the partial progress made.
+	EnsureRate(p float64) (*iot.CollectionReport, error)
 	// SampleSets returns the per-node sample sets, ordered by node id.
 	SampleSets() []*sampling.SampleSet
 	// Rate returns the sampling rate currently guaranteed.
@@ -45,16 +49,43 @@ type Source interface {
 	// TotalN returns |D|.
 	TotalN() int
 	// Snapshot returns one atomically consistent view of (sample sets,
-	// rate, node count, record count, sample-state version). The returned
-	// sets must be immutable — later collections must replace them, not
-	// mutate them — and version must increase whenever any node's stored
-	// sample is rewritten, even at unchanged n and rate.
-	Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64)
+	// rate, node count, record count, sample-state version, coverage).
+	// The returned sets must be immutable — later collections must
+	// replace them, not mutate them — and version must increase whenever
+	// any node's stored sample is rewritten, even at unchanged n and
+	// rate. Coverage is the fraction of records held by currently
+	// reachable nodes; it moves when nodes go down or recover even if
+	// nothing else changed.
+	Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64, coverage float64)
 }
 
 // ErrUnachievable reports that the requested accuracy cannot be met even
 // after sampling every record — no noise margin remains.
 var ErrUnachievable = errors.New("core: accuracy unachievable even at full sampling")
+
+// DegradationPolicy selects how the engine reacts when a collection
+// round completes only partially (some nodes failed after exhausting
+// their retries).
+type DegradationPolicy int
+
+const (
+	// Strict fails the query on any partial collection round: every
+	// attempted node must be reached before an answer is released. This
+	// is the default and matches the engine's historical behavior.
+	Strict DegradationPolicy = iota
+	// BestEffort tolerates partial rounds: the engine re-solves
+	// optimization problem (3) at whatever rate the degraded network
+	// actually guarantees and answers if that is feasible. The released
+	// Answer carries Coverage and CollectionVersion provenance so the
+	// consumer can see exactly what they paid for.
+	BestEffort
+)
+
+// WithDegradationPolicy selects strict or best-effort answering over
+// partially-failed collection rounds. The default is Strict.
+func WithDegradationPolicy(p DegradationPolicy) Option {
+	return func(e *Engine) { e.policy = p }
+}
 
 // Engine is the broker-side private query engine. It is safe for
 // concurrent use and built read-mostly: query paths (Answer,
@@ -78,6 +109,7 @@ type Engine struct {
 	accountant *dp.Accountant
 	auto       bool
 	margin     float64
+	policy     DegradationPolicy
 	cache      *answerCache
 }
 
@@ -146,6 +178,9 @@ func New(src Source, opts ...Option) (*Engine, error) {
 	if e.margin < 1 {
 		return nil, fmt.Errorf("core: collection margin %v must be >= 1", e.margin)
 	}
+	if e.policy != Strict && e.policy != BestEffort {
+		return nil, fmt.Errorf("core: unknown degradation policy %d", e.policy)
+	}
 	return e, nil
 }
 
@@ -165,6 +200,16 @@ type Answer struct {
 	Rate float64
 	// Nodes and N describe the deployment (public metadata).
 	Nodes, N int
+	// Coverage is the fraction of records held by nodes that were
+	// reachable when the answer's snapshot was taken: 1 means every
+	// node's samples were refreshable, lower values mean the answer
+	// leaned on stale samples from down or failed nodes (best-effort
+	// degradation provenance).
+	Coverage float64
+	// CollectionVersion is the source's sample-state version the answer
+	// was computed against; consumers can compare it across purchases to
+	// tell whether the underlying samples moved.
+	CollectionVersion uint64
 }
 
 // Clamped returns the answer value truncated to the physically possible
@@ -204,13 +249,15 @@ func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, err
 		}
 	}
 	ans := &Answer{
-		Query:    q,
-		Accuracy: acc,
-		Value:    mech.Perturb(raw, e.rng),
-		Plan:     plan,
-		Rate:     snap.rate,
-		Nodes:    snap.nodes,
-		N:        snap.n,
+		Query:             q,
+		Accuracy:          acc,
+		Value:             mech.Perturb(raw, e.rng),
+		Plan:              plan,
+		Rate:              snap.rate,
+		Nodes:             snap.nodes,
+		N:                 snap.n,
+		Coverage:          snap.coverage,
+		CollectionVersion: snap.version,
 	}
 	e.cache.store(ans, snap)
 	return ans, nil
@@ -280,7 +327,7 @@ func (e *Engine) planFor(acc estimator.Accuracy, snap snapshot) (optimize.Plan, 
 		target = math.Min(1, snap.rate*2)
 	}
 	for {
-		if err := e.src.EnsureRate(target); err != nil {
+		if _, err := e.src.EnsureRate(target); err != nil && !e.tolerable(err) {
 			return optimize.Plan{}, snap, err
 		}
 		snap = e.snapshotLocked()
@@ -296,6 +343,15 @@ func (e *Engine) planFor(acc estimator.Accuracy, snap snapshot) (optimize.Plan, 
 		}
 		target = math.Min(1, target*2)
 	}
+}
+
+// tolerable reports whether a collection error may be absorbed instead
+// of failing the query: only partial rounds under the best-effort
+// policy qualify — the engine then re-solves at whatever rate the
+// degraded network actually achieved. Transport-independent errors
+// (validation, unknown failures) always propagate.
+func (e *Engine) tolerable(err error) bool {
+	return e.policy == BestEffort && errors.Is(err, iot.ErrPartialRound)
 }
 
 // Plan exposes the optimizer outcome for a hypothetical request without

@@ -205,7 +205,7 @@ func TestAccountantCapBlocksAnswer(t *testing.T) {
 func TestEstimateOnly(t *testing.T) {
 	t.Parallel()
 	nw, series := buildNetwork(t, 8, 10000, 15)
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	eng, err := New(nw)
@@ -257,7 +257,7 @@ func TestPlanQuoteDoesNotCollectOrSpend(t *testing.T) {
 	if nw.Rate() != 0 {
 		t.Error("quote must not trigger collection")
 	}
-	if err := nw.EnsureRate(0.5); err != nil {
+	if _, err := nw.EnsureRate(0.5); err != nil {
 		t.Fatal(err)
 	}
 	plan, err := eng.Plan(estimator.Accuracy{Alpha: 0.1, Delta: 0.5})
@@ -313,7 +313,7 @@ type seqSource struct {
 	rates []float64
 }
 
-func (s *seqSource) EnsureRate(p float64) error {
+func (s *seqSource) EnsureRate(p float64) (*iot.CollectionReport, error) {
 	s.rates = append(s.rates, p)
 	return s.Network.EnsureRate(p)
 }

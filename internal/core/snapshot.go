@@ -16,13 +16,16 @@ type snapshot struct {
 	// whenever any node's stored sample is rewritten, even at unchanged
 	// (n, rate) — e.g. a recovered node re-reporting a redrawn sample.
 	version uint64
+	// coverage is the fraction of records held by reachable nodes at
+	// capture time — the degradation provenance released with answers.
+	coverage float64
 }
 
 // snapshotLocked captures the source state. Callers must hold e.mu in
 // either mode (read for queries, write during collection).
 func (e *Engine) snapshotLocked() snapshot {
 	var s snapshot
-	s.sets, s.rate, s.nodes, s.n, s.version = e.src.Snapshot()
+	s.sets, s.rate, s.nodes, s.n, s.version, s.coverage = e.src.Snapshot()
 	return s
 }
 

@@ -23,11 +23,11 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.1); err != nil {
+	if _, err := nw.EnsureRate(0.1); err != nil {
 		log.Fatal(err)
 	}
 	after10 := nw.Cost().SamplesShipped
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		log.Fatal(err)
 	}
 	after30 := nw.Cost().SamplesShipped

@@ -47,7 +47,7 @@ func TestEnsureRateCollectsSamples(t *testing.T) {
 		t.Fatalf("network shape wrong: k=%d n=%d", nw.NumNodes(), nw.TotalN())
 	}
 	const p = 0.2
-	if err := nw.EnsureRate(p); err != nil {
+	if _, err := nw.EnsureRate(p); err != nil {
 		t.Fatal(err)
 	}
 	sets := nw.SampleSets()
@@ -78,7 +78,7 @@ func TestEstimatorOverNetworkSamples(t *testing.T) {
 		t.Fatal(err)
 	}
 	const p = 0.3
-	if err := nw.EnsureRate(p); err != nil {
+	if _, err := nw.EnsureRate(p); err != nil {
 		t.Fatal(err)
 	}
 	q := estimator.Query{L: 40, U: 90}
@@ -112,11 +112,11 @@ func TestTopUpShipsOnlyNewSamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.1); err != nil {
+	if _, err := nw.EnsureRate(0.1); err != nil {
 		t.Fatal(err)
 	}
 	afterFirst := nw.Cost().SamplesShipped
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	afterSecond := nw.Cost().SamplesShipped
@@ -146,11 +146,11 @@ func TestLoweringRateIsFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.4); err != nil {
+	if _, err := nw.EnsureRate(0.4); err != nil {
 		t.Fatal(err)
 	}
 	before := nw.Cost()
-	if err := nw.EnsureRate(0.1); err != nil {
+	if _, err := nw.EnsureRate(0.1); err != nil {
 		t.Fatal(err)
 	}
 	if nw.Cost() != before {
@@ -168,10 +168,10 @@ func TestEnsureRateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(-0.1); err == nil {
+	if _, err := nw.EnsureRate(-0.1); err == nil {
 		t.Error("negative rate should fail")
 	}
-	if err := nw.EnsureRate(1.1); err == nil {
+	if _, err := nw.EnsureRate(1.1); err == nil {
 		t.Error("rate > 1 should fail")
 	}
 }
@@ -187,10 +187,10 @@ func TestTreeTopologyCostsMoreBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := flat.EnsureRate(0.2); err != nil {
+	if _, err := flat.EnsureRate(0.2); err != nil {
 		t.Fatal(err)
 	}
-	if err := tree.EnsureRate(0.2); err != nil {
+	if _, err := tree.EnsureRate(0.2); err != nil {
 		t.Fatal(err)
 	}
 	if flat.Cost().SamplesShipped != tree.Cost().SamplesShipped {
@@ -238,7 +238,7 @@ func TestPiggybackDiscount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.05); err != nil { // ~5 samples per node
+	if _, err := nw.EnsureRate(0.05); err != nil { // ~5 samples per node
 		t.Fatal(err)
 	}
 	cost := nw.Cost()
@@ -263,7 +263,7 @@ func TestHeartbeatRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.HeartbeatRound(); err != nil {
+	if _, err := nw.HeartbeatRound(); err != nil {
 		t.Fatal(err)
 	}
 	cost := nw.Cost()
@@ -285,7 +285,7 @@ func TestNodeStreamingObserveInvalidatesAndReplaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.2); err != nil {
+	if _, err := nw.EnsureRate(0.2); err != nil {
 		t.Fatal(err)
 	}
 	// New readings arrive at node 0.
@@ -293,7 +293,7 @@ func TestNodeStreamingObserveInvalidatesAndReplaces(t *testing.T) {
 	nw.nodes[0].Observe(501)
 	// Force re-collection at a higher rate; node 0 must replace, node 1
 	// may top up — either way base-station state stays consistent.
-	if err := nw.EnsureRate(0.5); err != nil {
+	if _, err := nw.EnsureRate(0.5); err != nil {
 		t.Fatal(err)
 	}
 	sets := nw.SampleSets()
@@ -383,7 +383,7 @@ func TestLossyLinkRetransmitsAndConverges(t *testing.T) {
 	// idempotent: already-shipped samples are not reshipped).
 	var lastErr error
 	for attempt := 0; attempt < 20; attempt++ {
-		if lastErr = nw.EnsureRate(0.2); lastErr == nil {
+		if _, lastErr = nw.EnsureRate(0.2); lastErr == nil {
 			break
 		}
 	}
@@ -415,7 +415,7 @@ func TestLossyLinkRetransmitsAndConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := clean.EnsureRate(0.2); err != nil {
+	if _, err := clean.EnsureRate(0.2); err != nil {
 		t.Fatal(err)
 	}
 	if cost.Bytes <= clean.Cost().Bytes {
@@ -435,7 +435,7 @@ func TestTotalLossGivesUp(t *testing.T) {
 	// over several attempts.
 	failed := false
 	for attempt := 0; attempt < 10 && !failed; attempt++ {
-		if err := nw.EnsureRate(0.5); err != nil {
+		if _, err := nw.EnsureRate(0.5); err != nil {
 			failed = true
 		}
 	}
@@ -457,7 +457,7 @@ func TestReportLossNeverDropsSamples(t *testing.T) {
 	}
 	succeeded := false
 	for attempt := 0; attempt < 500; attempt++ {
-		if err := nw.EnsureRate(0.3); err == nil {
+		if _, err := nw.EnsureRate(0.3); err == nil {
 			succeeded = true
 			break
 		}
@@ -485,7 +485,7 @@ func TestIngestMarksAndRefreshes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.4); err != nil {
+	if _, err := nw.EnsureRate(0.4); err != nil {
 		t.Fatal(err)
 	}
 	if err := nw.Ingest(9, []float64{1}); err == nil {
@@ -503,7 +503,7 @@ func TestIngestMarksAndRefreshes(t *testing.T) {
 		t.Error("base station should be refreshed lazily")
 	}
 	// Re-collection at the *same* rate must pick the new data up.
-	if err := nw.EnsureRate(0.4); err != nil {
+	if _, err := nw.EnsureRate(0.4); err != nil {
 		t.Fatal(err)
 	}
 	if got := nw.Base().TotalN(); got != before+3 {
@@ -539,7 +539,7 @@ func TestIngestRoundContinuousMonitoring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(p); err != nil {
+	if _, err := nw.EnsureRate(p); err != nil {
 		t.Fatal(err)
 	}
 	offset := initial
@@ -612,7 +612,7 @@ func TestDownNodeServesStaleSamplesAndRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	// Node 2 partitions away, then keeps sensing.
@@ -625,7 +625,7 @@ func TestDownNodeServesStaleSamplesAndRecovers(t *testing.T) {
 	}
 	staleN := nw.SampleSets()[2].N
 	// Re-collection skips the down node: its set stays stale, no error.
-	if err := nw.EnsureRate(0.5); err != nil {
+	if _, err := nw.EnsureRate(0.5); err != nil {
 		t.Fatal(err)
 	}
 	if got := nw.SampleSets()[2].N; got != staleN {
@@ -640,7 +640,7 @@ func TestDownNodeServesStaleSamplesAndRecovers(t *testing.T) {
 	if err := nw.SetDown(2, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.5); err != nil {
+	if _, err := nw.EnsureRate(0.5); err != nil {
 		t.Fatal(err)
 	}
 	set := nw.SampleSets()[2]
@@ -662,7 +662,7 @@ func TestAllNodesDownStillAnswersFromStaleState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.4); err != nil {
+	if _, err := nw.EnsureRate(0.4); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
@@ -671,7 +671,7 @@ func TestAllNodesDownStillAnswersFromStaleState(t *testing.T) {
 		}
 	}
 	// EnsureRate with everything down is a no-op, not an error...
-	if err := nw.EnsureRate(0.8); err != nil {
+	if _, err := nw.EnsureRate(0.8); err != nil {
 		t.Fatalf("collection with all nodes down should degrade, not fail: %v", err)
 	}
 	// ...and the stale samples still answer queries.
@@ -700,7 +700,7 @@ func TestAddNodeJoinsDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := nw.AddNode(nil); err == nil {
@@ -721,7 +721,7 @@ func TestAddNodeJoinsDeployment(t *testing.T) {
 	if nw.Rate() != 0 {
 		t.Errorf("rate should be 0 with an uncollected member, got %v", nw.Rate())
 	}
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(nw.Rate()-0.3) > 1e-12 {
@@ -811,7 +811,7 @@ func TestStateVersionBumpsOnAcceptedReports(t *testing.T) {
 	if nw.StateVersion() != 0 {
 		t.Fatalf("fresh network version = %d, want 0", nw.StateVersion())
 	}
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	v1 := nw.StateVersion()
@@ -819,7 +819,7 @@ func TestStateVersionBumpsOnAcceptedReports(t *testing.T) {
 		t.Fatal("collection must bump the sample-state version")
 	}
 	// Re-ensuring an already-satisfied rate touches nothing.
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	if nw.StateVersion() != v1 {
@@ -836,7 +836,7 @@ func TestStateVersionBumpsOnAcceptedReports(t *testing.T) {
 	if err := nw.SetDown(1, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.EnsureRate(0.3); err != nil {
+	if _, err := nw.EnsureRate(0.3); err != nil {
 		t.Fatal(err)
 	}
 	if nw.StateVersion() == v1 {

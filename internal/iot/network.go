@@ -50,6 +50,20 @@ type Config struct {
 	// MaxRetries bounds retransmission attempts per message. Zero
 	// selects 5; negative is invalid.
 	MaxRetries int
+	// Faults assigns per-node fault profiles (keyed by node id) so chaos
+	// tests can script realistic failure scenarios — per-node loss,
+	// byte corruption, scheduled crash/recover windows — instead of one
+	// global Bernoulli loss rate. Nodes without an entry follow LossRate.
+	Faults map[int]FaultProfile
+	// FailureThreshold enables the collection circuit breaker: a node
+	// failing this many consecutive rounds is auto-marked down (no more
+	// bytes are wasted on it) and reinstated with exponential backoff.
+	// Zero disables the breaker; negative is invalid.
+	FailureThreshold int
+	// BreakerBackoff is the breaker's base reinstatement delay in rounds;
+	// each consecutive re-trip doubles it (capped). Zero selects 2;
+	// negative is invalid. Ignored while FailureThreshold is 0.
+	BreakerBackoff int
 }
 
 // CostReport is the running communication bill.
@@ -66,8 +80,12 @@ type CostReport struct {
 	// for free.
 	PiggybackedReports int
 	// Retransmissions counts extra attempts caused by simulated packet
-	// loss. Their bytes are included in Bytes.
+	// loss or detected corruption. Their bytes are included in Bytes.
 	Retransmissions int
+	// CorruptedMessages counts attempts that arrived with flipped or
+	// trailing bytes and were rejected by the wire decode path. Their
+	// bytes crossed the wire and are included in Bytes.
+	CorruptedMessages int
 }
 
 // Network wires k nodes to a base station under a topology and accounts
@@ -92,8 +110,16 @@ type Network struct {
 	dirty map[int]bool
 	// down marks unreachable nodes: EnsureRate skips them (their stale
 	// samples at the base station keep serving queries) and revisits
-	// them on recovery.
+	// them on recovery. Entries come from SetDown or from the failure
+	// circuit breaker (see breaker).
 	down map[int]bool
+	// breaker tracks per-node consecutive-failure state for the
+	// collection circuit breaker (enabled by Config.FailureThreshold).
+	breaker map[int]*breakerState
+	// clock counts network rounds (EnsureRate, IngestRound,
+	// HeartbeatRound); crash windows and breaker backoffs are scheduled
+	// against it.
+	clock uint64
 }
 
 // New builds a network whose node i holds parts[i]. It returns an error
@@ -123,12 +149,30 @@ func New(parts [][]float64, cfg Config) (*Network, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 5
 	}
+	if cfg.FailureThreshold < 0 {
+		return nil, fmt.Errorf("iot: negative failure threshold %d", cfg.FailureThreshold)
+	}
+	if cfg.BreakerBackoff < 0 {
+		return nil, fmt.Errorf("iot: negative breaker backoff %d", cfg.BreakerBackoff)
+	}
+	if cfg.BreakerBackoff == 0 {
+		cfg.BreakerBackoff = 2
+	}
+	for id, prof := range cfg.Faults {
+		if id < 0 {
+			return nil, fmt.Errorf("iot: fault profile for negative node id %d", id)
+		}
+		if err := prof.validate(id); err != nil {
+			return nil, err
+		}
+	}
 	nw := &Network{
 		cfg:      cfg,
 		base:     NewBaseStation(),
 		rng:      stats.NewRNG(cfg.Seed ^ 0x10c5),
 		dirty:    make(map[int]bool),
 		down:     make(map[int]bool),
+		breaker:  make(map[int]*breakerState),
 		nodeRate: make(map[int]float64),
 	}
 	for i, part := range parts {
@@ -215,44 +259,71 @@ func (nw *Network) hops(id int) int {
 
 // transmit codecs a message end to end and bills it: hop-weighted bytes
 // plus message and sample counters. Reports small enough to piggyback on
-// heartbeats are free of byte cost, matching the paper's argument. With
-// a lossy link each attempt may drop; attempts are retried up to the
-// configured bound. Bytes are billed for every attempt made (delivered
-// or not), while Messages, SamplesShipped and PiggybackedReports count
-// only what actually arrives end to end.
+// heartbeats are free of byte cost, matching the paper's argument.
+//
+// Each attempt may drop (the node's loss rate) or arrive corrupted (its
+// fault profile's corrupt rate); detected corruption — a wire decode
+// error or trailing bytes — counts in CorruptedMessages and is retried
+// like a loss, since the bytes crossed the wire but nothing usable
+// arrived. A node inside a scheduled crash window swallows every
+// attempt. Bytes are billed for every attempt made (delivered, dropped
+// or corrupted), while Messages, SamplesShipped and PiggybackedReports
+// count only what actually arrives end to end.
 func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 	data, err := wire.Encode(m)
 	if err != nil {
 		return nil, err
 	}
-	decoded, consumed, err := wire.Decode(data)
-	if err != nil {
-		return nil, fmt.Errorf("iot: transport corruption: %w", err)
-	}
-	if consumed != len(data) {
-		return nil, fmt.Errorf("iot: trailing bytes after decode (%d of %d)", consumed, len(data))
-	}
-	rep, isReport := decoded.(*wire.SampleReport)
+	rep, isReport := m.(*wire.SampleReport)
 	free := isReport && nw.cfg.FreeHeartbeatSamples > 0 && len(rep.Samples) <= nw.cfg.FreeHeartbeatSamples
-	billBytes := func(attempts int) {
-		if !free {
-			nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
+	prof := nw.cfg.Faults[id]
+	loss := nw.cfg.LossRate
+	if prof.LossRate > 0 {
+		loss = prof.LossRate
+	}
+	maxAttempts := nw.cfg.MaxRetries + 1
+	attempts := 0
+	var delivered wire.Message
+	var lastErr error
+	if nw.crashedLocked(id) {
+		// The node is off: every attempt crosses the link and dies there.
+		attempts = maxAttempts
+		lastErr = fmt.Errorf("iot: node %d crashed (scheduled fault window, round %d)", id, nw.clock)
+	} else {
+		for attempts < maxAttempts {
+			attempts++
+			if loss > 0 && nw.rng.Bernoulli(loss) {
+				lastErr = fmt.Errorf("iot: message to/from node %d lost after %d attempts", id, attempts)
+				continue
+			}
+			payload := data
+			if prof.CorruptRate > 0 && nw.rng.Bernoulli(prof.CorruptRate) {
+				payload = corruptPayload(data, nw.cost.CorruptedMessages)
+			}
+			decoded, consumed, derr := wire.Decode(payload)
+			if derr != nil {
+				nw.cost.CorruptedMessages++
+				lastErr = fmt.Errorf("iot: transport corruption to/from node %d: %w", id, derr)
+				continue
+			}
+			if consumed != len(payload) {
+				nw.cost.CorruptedMessages++
+				lastErr = fmt.Errorf("iot: trailing bytes after decode (%d of %d) to/from node %d", consumed, len(payload), id)
+				continue
+			}
+			delivered = decoded
+			break
 		}
 	}
-	attempts := 1
-	for nw.cfg.LossRate > 0 && nw.rng.Bernoulli(nw.cfg.LossRate) {
-		if attempts > nw.cfg.MaxRetries {
-			// Give up. Every one of the attempts crossed the link and costs
-			// bytes, but nothing arrived: no end-to-end message, no shipped
-			// samples, no piggyback discount to record.
-			billBytes(attempts)
-			nw.cost.Retransmissions += attempts - 1
-			return nil, fmt.Errorf("iot: message to/from node %d lost after %d attempts", id, attempts)
-		}
-		attempts++
+	// Every attempt crossed the link and costs bytes — including the
+	// give-up and corruption cases, where nothing usable arrived.
+	if !free {
+		nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
 	}
 	nw.cost.Retransmissions += attempts - 1
-	billBytes(attempts)
+	if delivered == nil {
+		return nil, lastErr
+	}
 	nw.cost.Messages++
 	if isReport {
 		nw.cost.SamplesShipped += len(rep.Samples)
@@ -260,53 +331,95 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 			nw.cost.PiggybackedReports++
 		}
 	}
-	return decoded, nil
+	return delivered, nil
 }
 
-// EnsureRate drives the sampling protocol until the base station holds a
-// Bernoulli(p) sample from every node: it multicasts Resample commands
-// and folds the resulting reports in. Raising the rate tops existing
-// samples up (only the new samples travel); lowering it is a no-op —
-// the richer sample already satisfies any weaker requirement.
-func (nw *Network) EnsureRate(p float64) error {
+// EnsureRate drives one collection round toward a Bernoulli(p) sample
+// from every node: it multicasts Resample commands and folds the
+// resulting reports in. Raising the rate tops existing samples up (only
+// the new samples travel); lowering it is a no-op — the richer sample
+// already satisfies any weaker requirement.
+//
+// The round attempts every reachable node and accumulates per-node
+// failures instead of aborting on the first: one node exhausting its
+// retries no longer prevents the rest of the deployment from being
+// refreshed. The returned CollectionReport describes the partial
+// progress (refreshed / satisfied / skipped / failed nodes, achieved
+// guaranteed rate, coverage); the returned error is nil for a complete
+// round and wraps ErrPartialRound when any attempted node failed, so
+// strict callers keep their error and degradation-aware callers read
+// the report.
+func (nw *Network) EnsureRate(p float64) (*CollectionReport, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return nw.ensureRate(p)
+	return nw.collect(p)
 }
 
-func (nw *Network) ensureRate(p float64) error {
+func (nw *Network) collect(p float64) (*CollectionReport, error) {
 	if p < 0 || p > 1 {
-		return fmt.Errorf("iot: rate %v outside [0, 1]", p)
+		return nil, fmt.Errorf("iot: rate %v outside [0, 1]", p)
 	}
+	nw.clock++
+	nw.reinstateLocked()
 	effective := math.Max(p, nw.maxRate())
+	rep := &CollectionReport{
+		Round:     nw.clock,
+		Target:    p,
+		Effective: effective,
+		Failed:    make(map[int]error),
+	}
 	for _, node := range nw.nodes {
 		id := node.ID()
 		if nw.down[id] {
-			continue // unreachable: stale samples keep serving
+			// Unreachable: stale samples keep serving.
+			rep.Skipped = append(rep.Skipped, id)
+			if st := nw.breaker[id]; st != nil && st.open {
+				rep.CircuitOpen = append(rep.CircuitOpen, id)
+			}
+			continue
 		}
 		if nw.nodeRate[id] >= effective && !nw.dirty[id] {
-			continue // already caught up, nothing new to report
+			rep.Satisfied = append(rep.Satisfied, id) // already caught up
+			continue
 		}
-		cmd := &wire.Resample{NodeID: id, Rate: effective}
-		decodedCmd, err := nw.transmit(id, cmd)
-		if err != nil {
-			return err
+		if err := nw.collectNode(node, effective); err != nil {
+			rep.Failed[id] = err
+			nw.noteFailureLocked(id)
+			continue
 		}
-		report, err := node.HandleResample(decodedCmd.(*wire.Resample))
-		if err != nil {
-			return err
-		}
-		decodedRep, err := nw.transmit(id, report)
-		if err != nil {
-			return err
-		}
-		if err := nw.base.HandleReport(decodedRep.(*wire.SampleReport)); err != nil {
-			return err
-		}
-		node.AckReport()
-		delete(nw.dirty, id)
-		nw.nodeRate[id] = effective
+		nw.noteSuccessLocked(id)
+		rep.Refreshed = append(rep.Refreshed, id)
 	}
+	rep.Achieved = nw.rate()
+	rep.Coverage = nw.coverageLocked()
+	rep.Version = nw.base.Version()
+	return rep, rep.Err()
+}
+
+// collectNode runs the resample→report→ack exchange with one node. On
+// any transport failure the node's shipment bookkeeping is untouched (no
+// ack), so the next round simply re-ships — nothing is silently dropped.
+func (nw *Network) collectNode(node *Node, rate float64) error {
+	id := node.ID()
+	cmd := &wire.Resample{NodeID: id, Rate: rate}
+	decodedCmd, err := nw.transmit(id, cmd)
+	if err != nil {
+		return err
+	}
+	report, err := node.HandleResample(decodedCmd.(*wire.Resample))
+	if err != nil {
+		return err
+	}
+	decodedRep, err := nw.transmit(id, report)
+	if err != nil {
+		return err
+	}
+	if err := nw.base.HandleReport(decodedRep.(*wire.SampleReport)); err != nil {
+		return err
+	}
+	node.AckReport()
+	delete(nw.dirty, id)
+	nw.nodeRate[id] = rate
 	return nil
 }
 
@@ -340,6 +453,11 @@ func (nw *Network) SetDown(nodeID int, down bool) error {
 		return fmt.Errorf("iot: no node %d", nodeID)
 	}
 	if nw.down[nodeID] == down {
+		if !down {
+			// Already up; still clear any breaker history so an operator
+			// reinstatement starts the node with a clean slate.
+			delete(nw.breaker, nodeID)
+		}
 		return nil
 	}
 	if down {
@@ -347,15 +465,23 @@ func (nw *Network) SetDown(nodeID int, down bool) error {
 		return nil
 	}
 	delete(nw.down, nodeID)
+	delete(nw.breaker, nodeID)
 	nw.dirty[nodeID] = true
 	return nil
 }
 
-// LiveNodes returns the number of reachable nodes.
+// LiveNodes returns the number of reachable nodes: not manually down,
+// not breaker-exiled, not inside a scheduled crash window.
 func (nw *Network) LiveNodes() int {
 	nw.mu.RLock()
 	defer nw.mu.RUnlock()
-	return len(nw.nodes) - len(nw.down)
+	live := 0
+	for _, node := range nw.nodes {
+		if !nw.unreachableLocked(node.ID()) {
+			live++
+		}
+	}
+	return live
 }
 
 // Coverage returns the fraction of records held by reachable nodes —
@@ -363,10 +489,14 @@ func (nw *Network) LiveNodes() int {
 func (nw *Network) Coverage() float64 {
 	nw.mu.RLock()
 	defer nw.mu.RUnlock()
+	return nw.coverageLocked()
+}
+
+func (nw *Network) coverageLocked() float64 {
 	total, live := 0, 0
 	for _, node := range nw.nodes {
 		total += node.Len()
-		if !nw.down[node.ID()] {
+		if !nw.unreachableLocked(node.ID()) {
 			live += node.Len()
 		}
 	}
@@ -401,7 +531,10 @@ func (nw *Network) ingest(nodeID int, values []float64) error {
 // IngestRound appends one round of readings across all nodes and
 // refreshes the base station's samples at the current rate — the
 // long-term continuous-collection loop the paper's related work targets.
-// perNode[i] goes to node i; len(perNode) must equal NumNodes.
+// perNode[i] goes to node i; len(perNode) must equal NumNodes. Like
+// EnsureRate, the refresh attempts every reachable node: a failed node
+// leaves its pre-round sample serving and the error wraps
+// ErrPartialRound while the rest of the deployment is still refreshed.
 func (nw *Network) IngestRound(perNode [][]float64) error {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -413,24 +546,42 @@ func (nw *Network) IngestRound(perNode [][]float64) error {
 			return err
 		}
 	}
-	return nw.ensureRate(nw.rate())
+	_, err := nw.collect(nw.rate())
+	return err
 }
 
-// HeartbeatRound delivers one liveness heartbeat from every node,
-// billing ordinary baseline traffic.
-func (nw *Network) HeartbeatRound() error {
+// HeartbeatRound delivers one liveness heartbeat from every reachable
+// node, billing ordinary baseline traffic. One node's lost heartbeat no
+// longer aborts the round: the remaining nodes still check in, and the
+// report says who missed — missed heartbeats feed the failure circuit
+// breaker, so silent nodes are detected and exiled between collections.
+func (nw *Network) HeartbeatRound() (*HeartbeatReport, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	nw.clock++
+	nw.reinstateLocked()
+	rep := &HeartbeatReport{Round: nw.clock, Missed: make(map[int]error)}
 	for _, node := range nw.nodes {
-		decoded, err := nw.transmit(node.ID(), node.Heartbeat())
+		id := node.ID()
+		if nw.down[id] {
+			rep.Skipped = append(rep.Skipped, id)
+			continue
+		}
+		decoded, err := nw.transmit(id, node.Heartbeat())
 		if err != nil {
-			return err
+			rep.Missed[id] = err
+			nw.noteFailureLocked(id)
+			continue
 		}
 		if err := nw.base.HandleHeartbeat(decoded.(*wire.Heartbeat)); err != nil {
-			return err
+			rep.Missed[id] = err
+			nw.noteFailureLocked(id)
+			continue
 		}
+		nw.noteSuccessLocked(id)
+		rep.Delivered = append(rep.Delivered, id)
 	}
-	return nil
+	return rep, rep.Err()
 }
 
 // SampleSets returns the base station's per-node sample sets, ordered by
@@ -444,14 +595,16 @@ func (nw *Network) SampleSets() []*sampling.SampleSet {
 
 // Snapshot returns one atomically consistent view of the queryable
 // state: the per-node sample sets, the guaranteed sampling rate, node
-// and record counts, and the monotonic sample-state version. The broker
-// estimates against a snapshot lock-free — the sets are immutable, and
-// the version lets answer caches detect sample-state changes invisible
-// to (n, rate) alone.
-func (nw *Network) Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64) {
+// and record counts, the monotonic sample-state version, and the
+// reachable-record coverage. The broker estimates against a snapshot
+// lock-free — the sets are immutable, the version lets answer caches
+// detect sample-state changes invisible to (n, rate) alone, and the
+// coverage discloses how much of the data a degraded deployment can
+// still refresh (provenance for best-effort answers).
+func (nw *Network) Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64, coverage float64) {
 	nw.mu.RLock()
 	defer nw.mu.RUnlock()
-	return nw.base.SampleSets(), nw.rate(), len(nw.nodes), nw.totalN(), nw.base.Version()
+	return nw.base.SampleSets(), nw.rate(), len(nw.nodes), nw.totalN(), nw.base.Version(), nw.coverageLocked()
 }
 
 // StateVersion returns the base station's monotonic sample-state
@@ -470,9 +623,24 @@ func (nw *Network) Cost() CostReport {
 }
 
 // Base exposes the base station for integration with the broker layer.
-// The base station itself is not locked; callers touching it while other
-// goroutines drive the network must provide their own synchronization.
+//
+// Footgun: the base station itself is NOT locked — Network serializes
+// access to it internally, but a *BaseStation obtained here bypasses
+// that lock entirely. Calling any of its methods while another goroutine
+// drives the network (EnsureRate, IngestRound, HeartbeatRound, Ingest)
+// is a data race. Prefer Snapshot, which returns an immutable view under
+// the network's lock; touch Base concurrently only with external
+// synchronization. See DESIGN.md §7.
 func (nw *Network) Base() *BaseStation { return nw.base }
+
+// Clock returns the network round counter: how many collection,
+// ingestion or heartbeat rounds have run. Crash windows and breaker
+// backoffs are scheduled against it.
+func (nw *Network) Clock() uint64 {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.clock
+}
 
 // ExactCount returns the true global range count by asking every node —
 // the expensive path the paper's sampling avoids; used as experiment

@@ -1,0 +1,112 @@
+package iot
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CollectionReport describes what one collection round actually
+// achieved. Partial reporting is the normal case over lossy deployments,
+// not the error case: a round attempts every reachable node, accumulates
+// per-node failures instead of aborting, and summarizes the resulting
+// guarantee so the broker can decide whether to answer, degrade, or
+// retry.
+type CollectionReport struct {
+	// Round is the network round clock value this report describes.
+	Round uint64
+	// Target is the rate the caller asked for; Effective is the rate the
+	// round actually drove toward (raised to the historical maximum so
+	// recovering nodes catch up).
+	Target, Effective float64
+	// Achieved is the network-wide guaranteed rate after the round — the
+	// minimum rate any node's stored sample was collected at (0 while
+	// any node has never reported).
+	Achieved float64
+	// Coverage is the fraction of records held by currently reachable
+	// nodes after the round.
+	Coverage float64
+	// Version is the base station's sample-state version after the round.
+	Version uint64
+	// Refreshed lists nodes whose samples were (re)collected this round;
+	// Satisfied lists nodes already at the effective rate with nothing
+	// new to report; Skipped lists unreachable nodes (manually down or
+	// breaker-exiled) that were not attempted.
+	Refreshed, Satisfied, Skipped []int
+	// CircuitOpen is the subset of Skipped exiled by the failure
+	// circuit breaker rather than by SetDown.
+	CircuitOpen []int
+	// Failed maps each attempted-but-unreached node to its transport
+	// error.
+	Failed map[int]error
+}
+
+// Attempted returns how many nodes the round actually tried to collect.
+func (r *CollectionReport) Attempted() int {
+	return len(r.Refreshed) + len(r.Failed)
+}
+
+// Complete reports whether every node in the deployment is fresh at the
+// effective rate: nothing failed, nothing was skipped.
+func (r *CollectionReport) Complete() bool {
+	return len(r.Failed) == 0 && len(r.Skipped) == 0
+}
+
+// FailedIDs returns the failed node ids in ascending order.
+func (r *CollectionReport) FailedIDs() []int {
+	ids := make([]int, 0, len(r.Failed))
+	for id := range r.Failed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Err aggregates the round's per-node failures into one error wrapping
+// ErrPartialRound, or returns nil when no attempted node failed.
+// Skipped (down) nodes are not failures: serving their stale samples is
+// the availability/freshness trade the deployment opted into.
+func (r *CollectionReport) Err() error {
+	if len(r.Failed) == 0 {
+		return nil
+	}
+	ids := r.FailedIDs()
+	return fmt.Errorf("%w: %d of %d attempted nodes failed in round %d (node %d: %v)",
+		ErrPartialRound, len(r.Failed), r.Attempted(), r.Round, ids[0], r.Failed[ids[0]])
+}
+
+// HeartbeatReport describes one liveness round: which nodes checked in,
+// which missed their heartbeat (feeding the failure circuit breaker),
+// and which were not expected to answer at all.
+type HeartbeatReport struct {
+	// Round is the network round clock value this report describes.
+	Round uint64
+	// Delivered lists nodes whose heartbeat arrived.
+	Delivered []int
+	// Skipped lists nodes that were down (manually or breaker-exiled)
+	// and therefore not expected to heartbeat.
+	Skipped []int
+	// Missed maps nodes whose heartbeat was lost, corrupted past the
+	// retry bound, or swallowed by a crash window to the delivery error.
+	Missed map[int]error
+}
+
+// MissedIDs returns the missed node ids in ascending order.
+func (r *HeartbeatReport) MissedIDs() []int {
+	ids := make([]int, 0, len(r.Missed))
+	for id := range r.Missed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Err aggregates missed heartbeats into one error wrapping
+// ErrPartialRound, or returns nil when every expected heartbeat arrived.
+func (r *HeartbeatReport) Err() error {
+	if len(r.Missed) == 0 {
+		return nil
+	}
+	ids := r.MissedIDs()
+	return fmt.Errorf("%w: %d heartbeats missed in round %d (node %d: %v)",
+		ErrPartialRound, len(r.Missed), r.Round, ids[0], r.Missed[ids[0]])
+}

@@ -194,15 +194,19 @@ func (b *Broker) Buy(req Request) (*Response, error) {
 		Variance:     variance,
 		Price:        price,
 		EpsilonPrime: ans.Plan.EpsilonPrime,
+		Coverage:     ans.Coverage,
 	})
 	return &Response{
-		OK:           true,
-		Price:        price,
-		Variance:     variance,
-		Value:        ans.Value,
-		Clamped:      ans.Clamped(),
-		Receipt:      &receipt,
-		EpsilonPrime: ans.Plan.EpsilonPrime,
+		OK:                true,
+		Price:             price,
+		Variance:          variance,
+		Value:             ans.Value,
+		Clamped:           ans.Clamped(),
+		Receipt:           &receipt,
+		EpsilonPrime:      ans.Plan.EpsilonPrime,
+		Rate:              ans.Rate,
+		Coverage:          ans.Coverage,
+		CollectionVersion: ans.CollectionVersion,
 	}, nil
 }
 

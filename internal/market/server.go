@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server exposes a Broker over TCP with a newline-delimited JSON
@@ -15,6 +16,7 @@ import (
 type Server struct {
 	broker   *Broker
 	listener net.Listener
+	idle     time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -26,9 +28,25 @@ type Server struct {
 // exhausting memory.
 const maxLineBytes = 1 << 20
 
+// defaultIdleTimeout is how long a connection may sit silent (no request
+// arriving, or a response not draining) before the server drops it. Dead
+// and stalled clients must not pin handler goroutines forever.
+const defaultIdleTimeout = 2 * time.Minute
+
+// ServerOption configures Serve.
+type ServerOption func(*Server)
+
+// WithIdleTimeout sets how long a connection may idle between requests
+// (and how long a response write may stall) before the server closes it.
+// Zero or negative disables the deadline entirely — callers own the risk
+// of dead clients pinning handler goroutines.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idle = d }
+}
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and begins accepting
 // connections in the background. Close shuts it down.
-func Serve(broker *Broker, addr string) (*Server, error) {
+func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
 	if broker == nil {
 		return nil, fmt.Errorf("market: nil broker")
 	}
@@ -39,7 +57,11 @@ func Serve(broker *Broker, addr string) (*Server, error) {
 	s := &Server{
 		broker:   broker,
 		listener: ln,
+		idle:     defaultIdleTimeout,
 		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -86,11 +108,26 @@ func (s *Server) untrack(conn net.Conn) {
 	_ = conn.Close()
 }
 
+// extendDeadline pushes the connection's read/write deadline one idle
+// period into the future, or clears it when deadlines are disabled.
+func (s *Server) extendDeadline(conn net.Conn) error {
+	if s.idle <= 0 {
+		return nil
+	}
+	return conn.SetDeadline(time.Now().Add(s.idle))
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 4096), maxLineBytes)
 	writer := bufio.NewWriter(conn)
 	enc := json.NewEncoder(writer)
+	// The deadline is re-armed before every exchange, so an active client
+	// can hold the connection indefinitely while a silent one (or one not
+	// draining its responses) is cut off after a single idle period.
+	if err := s.extendDeadline(conn); err != nil {
+		return
+	}
 	for scanner.Scan() {
 		line := scanner.Bytes()
 		if len(line) == 0 {
@@ -107,6 +144,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if err := writer.Flush(); err != nil {
+			return
+		}
+		if err := s.extendDeadline(conn); err != nil {
 			return
 		}
 	}

@@ -1,0 +1,98 @@
+package market
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"privrange/internal/pricing"
+)
+
+func TestServerIdleTimeoutDropsSilentClient(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	srv, err := Serve(broker, "127.0.0.1:0", WithIdleTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send nothing: the server must drop the connection after the idle
+	// period instead of pinning a handler goroutine forever. The read
+	// unblocks with EOF/reset when the server closes its side; the 5s
+	// client-side deadline only guards the test against hanging.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("expected the server to close the idle connection")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the idle connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("idle drop took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestServerIdleTimeoutSparesActiveClient(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	srv, err := Serve(broker, "127.0.0.1:0", WithIdleTimeout(400*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Each exchange re-arms the deadline, so a client that keeps talking
+	// (well within the idle period per request) is never cut off even
+	// once total connection age exceeds the timeout.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := client.Catalog(); err != nil {
+			t.Fatalf("active client dropped: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestServerIdleTimeoutDisabled(t *testing.T) {
+	t.Parallel()
+	broker, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+	// Zero disables deadlines: a silent connection stays open.
+	srv, err := Serve(broker, "127.0.0.1:0", WithIdleTimeout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("nothing was written; read should time out client-side")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("connection should still be open (client-side timeout), got %v", err)
+	}
+}

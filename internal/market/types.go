@@ -58,6 +58,14 @@ type Response struct {
 	Clamped      float64  `json:"clamped,omitempty"`
 	Receipt      *Receipt `json:"receipt,omitempty"`
 	EpsilonPrime float64  `json:"epsilon_prime,omitempty"`
+	// Degradation provenance: the sampling rate the answer was computed
+	// at, the fraction of records held by reachable nodes when it was
+	// released (1 = full coverage), and the sample-state version —
+	// everything a consumer needs to judge what they actually bought
+	// from a partially-degraded deployment.
+	Rate              float64 `json:"rate,omitempty"`
+	Coverage          float64 `json:"coverage,omitempty"`
+	CollectionVersion uint64  `json:"collection_version,omitempty"`
 
 	// Catalog payload.
 	Datasets []DatasetInfo `json:"datasets,omitempty"`
@@ -91,6 +99,10 @@ type Receipt struct {
 	// EpsilonPrime is the effective privacy budget the sale released —
 	// the broker's per-sale privacy bookkeeping.
 	EpsilonPrime float64 `json:"epsilon_prime"`
+	// Coverage records the reachable-data fraction the sale was computed
+	// at, so a purchase made from a degraded deployment is documented as
+	// such on the proof of payment.
+	Coverage float64 `json:"coverage"`
 }
 
 // Validate checks the request's structural invariants per operation.

@@ -97,7 +97,7 @@ func (m *Marketplace) AddDataset(name string, values []float64, opt Options) err
 	if opt.Tree {
 		topo = iot.Tree
 	}
-	network, err := iot.New(partition(values, nodes), iot.Config{Seed: opt.Seed, Topology: topo})
+	network, err := iot.New(partition(values, nodes), iot.Config{Seed: opt.Seed, Topology: topo, Faults: opt.Faults})
 	if err != nil {
 		return err
 	}
@@ -105,10 +105,15 @@ func (m *Marketplace) AddDataset(name string, values []float64, opt Options) err
 	if err != nil {
 		return err
 	}
+	policy := core.Strict
+	if opt.BestEffort {
+		policy = core.BestEffort
+	}
 	engine, err := core.New(network,
 		core.WithSeed(opt.Seed+1),
 		core.WithAccountant(accountant),
 		core.WithAnswerCache(opt.CacheAnswers),
+		core.WithDegradationPolicy(policy),
 	)
 	if err != nil {
 		return err

@@ -73,6 +73,15 @@ type Answer struct {
 	SamplingRate float64
 	// Nodes and N describe the deployment.
 	Nodes, N int
+	// Coverage is the fraction of records held by reachable nodes when
+	// the answer was released: 1 means full coverage, less means the
+	// answer leaned on stale samples from unreachable nodes (see
+	// Options.BestEffort).
+	Coverage float64
+	// CollectionVersion identifies the sample state the answer was
+	// computed against; it moves whenever any node's stored sample is
+	// rewritten.
+	CollectionVersion uint64
 }
 
 // CommCost reports the deployment's cumulative communication bill.
@@ -108,6 +117,17 @@ type Options struct {
 	// pointless. Off by default: the paper's broker draws fresh noise
 	// per sale.
 	CacheAnswers bool
+	// BestEffort tolerates partially-failed collection rounds: when some
+	// nodes cannot be reached, queries are answered at whatever rate the
+	// degraded network still guarantees, and the released Answer's
+	// Coverage/CollectionVersion fields document the degradation. Off by
+	// default — the strict policy fails the query on any collection
+	// error, today's historical behavior.
+	BestEffort bool
+	// Faults schedules per-node fault injection (per-node loss rates,
+	// byte corruption, crash/recover windows) for chaos testing. Keys
+	// are node ids in [0, Nodes).
+	Faults map[int]iot.FaultProfile
 }
 
 // System is a self-contained deployment: simulated IoT network, base
@@ -140,7 +160,7 @@ func NewSystem(values []float64, opt Options) (*System, error) {
 	if opt.Tree {
 		topo = iot.Tree
 	}
-	network, err := iot.New(parts, iot.Config{Seed: opt.Seed, Topology: topo})
+	network, err := iot.New(parts, iot.Config{Seed: opt.Seed, Topology: topo, Faults: opt.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -148,10 +168,15 @@ func NewSystem(values []float64, opt Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	policy := core.Strict
+	if opt.BestEffort {
+		policy = core.BestEffort
+	}
 	engine, err := core.New(network,
 		core.WithSeed(opt.Seed+1),
 		core.WithAccountant(accountant),
 		core.WithAnswerCache(opt.CacheAnswers),
+		core.WithDegradationPolicy(policy),
 	)
 	if err != nil {
 		return nil, err
@@ -187,15 +212,17 @@ func (s *System) Count(l, u float64, acc Accuracy) (*Answer, error) {
 		return nil, err
 	}
 	return &Answer{
-		Value:        ans.Value,
-		Clamped:      ans.Clamped(),
-		AlphaPrime:   ans.Plan.AlphaPrime,
-		DeltaPrime:   ans.Plan.DeltaPrime,
-		Epsilon:      ans.Plan.Epsilon,
-		EpsilonPrime: ans.Plan.EpsilonPrime,
-		SamplingRate: ans.Rate,
-		Nodes:        ans.Nodes,
-		N:            ans.N,
+		Value:             ans.Value,
+		Clamped:           ans.Clamped(),
+		AlphaPrime:        ans.Plan.AlphaPrime,
+		DeltaPrime:        ans.Plan.DeltaPrime,
+		Epsilon:           ans.Plan.Epsilon,
+		EpsilonPrime:      ans.Plan.EpsilonPrime,
+		SamplingRate:      ans.Rate,
+		Nodes:             ans.Nodes,
+		N:                 ans.N,
+		Coverage:          ans.Coverage,
+		CollectionVersion: ans.CollectionVersion,
 	}, nil
 }
 
@@ -270,15 +297,17 @@ func (s *System) CountBatch(ranges []Range, acc Accuracy) ([]*Answer, error) {
 	out := make([]*Answer, len(raw))
 	for i, ans := range raw {
 		out[i] = &Answer{
-			Value:        ans.Value,
-			Clamped:      ans.Clamped(),
-			AlphaPrime:   ans.Plan.AlphaPrime,
-			DeltaPrime:   ans.Plan.DeltaPrime,
-			Epsilon:      ans.Plan.Epsilon,
-			EpsilonPrime: ans.Plan.EpsilonPrime,
-			SamplingRate: ans.Rate,
-			Nodes:        ans.Nodes,
-			N:            ans.N,
+			Value:             ans.Value,
+			Clamped:           ans.Clamped(),
+			AlphaPrime:        ans.Plan.AlphaPrime,
+			DeltaPrime:        ans.Plan.DeltaPrime,
+			Epsilon:           ans.Plan.Epsilon,
+			EpsilonPrime:      ans.Plan.EpsilonPrime,
+			SamplingRate:      ans.Rate,
+			Nodes:             ans.Nodes,
+			N:                 ans.N,
+			Coverage:          ans.Coverage,
+			CollectionVersion: ans.CollectionVersion,
 		}
 	}
 	return out, nil
@@ -334,6 +363,15 @@ func (s *System) Cost() CommCost {
 // SamplingRate returns the Bernoulli rate the base station currently
 // holds (0 before the first query).
 func (s *System) SamplingRate() float64 { return s.network.Rate() }
+
+// Coverage returns the fraction of records held by currently reachable
+// nodes (1 when every node is up).
+func (s *System) Coverage() float64 { return s.network.Coverage() }
+
+// SetNodeDown marks a node unreachable (true) or reachable (false) for
+// availability experiments; queries keep serving the node's stale
+// samples while it is down.
+func (s *System) SetNodeDown(id int, down bool) error { return s.network.SetDown(id, down) }
 
 // N returns the dataset size |D|.
 func (s *System) N() int { return s.network.TotalN() }
