@@ -1,18 +1,48 @@
 GO ?= go
 
-.PHONY: all check build vet test race cover bench experiments examples fuzz chaos clean
+# Pinned tool versions: `make tools` installs exactly these, so lint
+# results are reproducible across machines and CI. privlint needs no
+# pin — it lives in this module and versions with the tree.
+STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK ?= staticcheck
+
+.PHONY: all check build vet lint privlint staticcheck tools test race cover bench experiments examples fuzz chaos clean
 
 all: build vet test
 
-# check is the pre-merge gate: compile, static analysis, tests, and the
+# check is the pre-merge gate: compile, static analysis (vet + the
+# privlint invariant suite + staticcheck), tests, and the
 # fault-injection matrix under the race detector.
-check: build vet test chaos
+check: build lint test chaos
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the full static-analysis gate. It FAILS (never skips) when
+# a tool is missing: a lint gate that silently degrades is worse than
+# none. Run `make tools` once to install the pinned versions.
+lint: vet privlint staticcheck
+
+# privlint is the repo's own go/analysis-style suite (internal/lint):
+# six analyzers mechanizing the privacy, determinism, locking, billing
+# and error-wrapping invariants. See DESIGN.md §8 for the catalog.
+privlint:
+	$(GO) run ./cmd/privlint ./...
+
+staticcheck:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
+		echo "staticcheck not found: run 'make tools' (installs staticcheck@$(STATICCHECK_VERSION))" >&2; \
+		exit 1; }
+	$(STATICCHECK) ./...
+
+# tools installs the pinned external lint tools into GOBIN. Needs
+# network access; in air-gapped environments pre-bake the tools into
+# the image instead.
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 test:
 	$(GO) test ./...

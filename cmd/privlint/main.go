@@ -1,0 +1,81 @@
+// Command privlint runs the repo's custom static-analysis suite: six
+// analyzers that mechanically enforce the privacy, determinism, locking
+// and billing invariants DESIGN.md §8 catalogs. It is built only on the
+// standard library, so it compiles and runs offline with nothing but
+// the Go toolchain.
+//
+// Usage:
+//
+//	privlint [-list] [packages]
+//
+// With no arguments it lints ./... relative to the enclosing module.
+// Test files are not linted (go vet covers their basics); the suite
+// targets the production pipeline the privacy contract rides on.
+// It exits non-zero when any analyzer reports a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privrange/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: privlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	// Sentinel facts must span the whole module even when linting a
+	// subset, so a re-definition in one package of a sentinel declared
+	// in another is still caught.
+	all := pkgs
+	if modulePkgs, err := loader.Load("./..."); err == nil {
+		all = modulePkgs
+	}
+	sentinels := lint.CollectSentinels(all)
+	diags, err := lint.Run(lint.All(), pkgs, loader.Fset, sentinels)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "privlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "privlint:", err)
+	os.Exit(2)
+}

@@ -339,7 +339,7 @@ func (e *Engine) planFor(acc estimator.Accuracy, snap snapshot) (optimize.Plan, 
 			return optimize.Plan{}, snap, err
 		}
 		if target >= 1 {
-			return optimize.Plan{}, snap, fmt.Errorf("%w: %v", ErrUnachievable, err)
+			return optimize.Plan{}, snap, fmt.Errorf("%w: %w", ErrUnachievable, err)
 		}
 		target = math.Min(1, target*2)
 	}

@@ -283,6 +283,18 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 	}
 	maxAttempts := nw.cfg.MaxRetries + 1
 	attempts := 0
+	// Billing is registered before the first attempt so that no exit
+	// path — delivery, retry exhaustion, corruption, crash window, or
+	// any early return added later — can skip it: every attempt crossed
+	// the link and costs bytes, including the give-up and corruption
+	// cases where nothing usable arrived. The privlint billing analyzer
+	// enforces this ordering.
+	defer func() {
+		if !free {
+			nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
+		}
+		nw.cost.Retransmissions += attempts - 1
+	}()
 	var delivered wire.Message
 	var lastErr error
 	if nw.crashedLocked(id) {
@@ -315,12 +327,6 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 			break
 		}
 	}
-	// Every attempt crossed the link and costs bytes — including the
-	// give-up and corruption cases, where nothing usable arrived.
-	if !free {
-		nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
-	}
-	nw.cost.Retransmissions += attempts - 1
 	if delivered == nil {
 		return nil, lastErr
 	}

@@ -70,7 +70,7 @@ func (r *CollectionReport) Err() error {
 		return nil
 	}
 	ids := r.FailedIDs()
-	return fmt.Errorf("%w: %d of %d attempted nodes failed in round %d (node %d: %v)",
+	return fmt.Errorf("%w: %d of %d attempted nodes failed in round %d (node %d: %w)",
 		ErrPartialRound, len(r.Failed), r.Attempted(), r.Round, ids[0], r.Failed[ids[0]])
 }
 
@@ -107,6 +107,6 @@ func (r *HeartbeatReport) Err() error {
 		return nil
 	}
 	ids := r.MissedIDs()
-	return fmt.Errorf("%w: %d heartbeats missed in round %d (node %d: %v)",
+	return fmt.Errorf("%w: %d heartbeats missed in round %d (node %d: %w)",
 		ErrPartialRound, len(r.Missed), r.Round, ids[0], r.Missed[ids[0]])
 }

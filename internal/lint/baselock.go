@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// BaseLock mechanizes the DESIGN.md §7 footgun: iot.Network.Base()
+// returns the base station WITHOUT the network's lock, so the result
+// must not outlive the expression it appears in or cross into another
+// goroutine.
+//
+// Allowed:
+//
+//	nw.Base().TotalN()            (immediate chained call)
+//
+// Flagged:
+//
+//	b := nw.Base()                (escapes into a variable)
+//	return nw.Base()              (escapes the caller)
+//	f(nw.Base())                  (escapes into a callee)
+//	go func() { nw.Base()... }()  (goroutine boundary)
+var BaseLock = &Analyzer{
+	Name: "baselock",
+	Doc: `flag iot.Network.Base() calls whose *BaseStation escapes the calling
+expression or sits inside a goroutine/closure: Base bypasses the network's
+lock, so any retained or concurrent use is a data race — use Snapshot()`,
+	Run: runBaseLock,
+}
+
+func runBaseLock(pass *Pass) error {
+	pass.inspectStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if !isFuncNamed(fn, iotPkg, "Network.Base") {
+			return true
+		}
+		// Inside a closure or go statement the unlocked base station is
+		// one scheduling decision away from racing the network writer.
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				pass.Reportf(call.Pos(), "Network.Base() inside a goroutine/closure: the base station is not locked, racing any concurrent EnsureRate/IngestRound/HeartbeatRound; use Network.Snapshot()")
+				return true
+			}
+		}
+		// Immediate chained method call — nw.Base().Foo(...) — consumes
+		// the pointer without retaining it.
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == call {
+				if outer, ok := stack[len(stack)-2].(*ast.CallExpr); ok && outer.Fun == sel {
+					return true
+				}
+			}
+		}
+		pass.Reportf(call.Pos(), "Network.Base() result escapes the calling expression: the base station bypasses the network's lock (DESIGN.md §7); call through it inline or use Network.Snapshot()")
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Billing mechanizes the every-attempt-is-billed invariant from the
+// fault-injection work: once a transmit path encodes a message, bytes
+// may cross the wire, so the function must account them on EVERY exit
+// path — including loss, corruption and crash-window give-ups. The
+// historical bug class is an early `return` slipped between the encode
+// and the cost accounting, silently under-billing failed attempts.
+//
+// Mechanization: any function calling wire.Encode is a transmit path.
+// It must contain a billing site — a write to a `cost` field or a call
+// to a bill* helper — and no return statement may sit between the
+// encode's error check and that billing site. Billing from a defer
+// (the pattern iot.Network.transmit uses) trivially satisfies the
+// ordering: the defer is registered before any attempt is made.
+var Billing = &Analyzer{
+	Name: "billing",
+	Doc: `in transmit paths (functions calling wire.Encode), require cost
+accounting on every exit: each attempt's bytes must be billed whether the
+message was delivered, lost, corrupted or swallowed by a crash window —
+returns between encode and billing silently under-bill the deployment`,
+	Run: runBilling,
+}
+
+const wirePkg = "privrange/internal/wire"
+
+func runBilling(pass *Pass) error {
+	// The codec layer itself (wire.EncodedSize and friends) encodes
+	// without transmitting; billing is the transport's obligation.
+	if pass.Pkg.Path() == wirePkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBilling(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBilling(pass *Pass, fd *ast.FuncDecl) {
+	encode := findEncodeCall(pass, fd.Body)
+	if encode == nil {
+		return
+	}
+	billingPos := findBillingPos(fd.Body)
+	if billingPos == token.NoPos {
+		pass.Reportf(encode.Pos(), "%s encodes a wire message but never bills it: every transmit attempt must update the cost report (bytes are spent even when delivery fails)", fd.Name.Name)
+		return
+	}
+	// Returns inside the encode-failure check are exempt: an encode
+	// error means nothing crossed the wire. Everything between the end
+	// of that check and the billing site must fall through to billing.
+	exemptEnd := encodeErrCheckEnd(fd.Body, encode)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > exemptEnd && ret.Pos() < billingPos {
+			pass.Reportf(ret.Pos(), "return before the attempt is billed: bytes already crossed the wire when this path runs; bill first (or register the billing in a defer right after encoding)")
+		}
+		return true
+	})
+}
+
+// findEncodeCall returns the first wire.Encode call in body, or nil.
+func findEncodeCall(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); isFuncNamed(fn, wirePkg, "Encode") {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// findBillingPos locates the first cost-accounting statement: an
+// assignment or inc/dec touching a selector chain through a field
+// named "cost", or a call to a method whose name starts with "bill".
+// A billing site inside a DeferStmt counts at the defer's position.
+func findBillingPos(body *ast.BlockStmt) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if selectorChainHas(l, "cost") {
+					pos = n.Pos()
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if selectorChainHas(n.X, "cost") {
+				pos = n.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if len(name) >= 4 && name[:4] == "bill" {
+				pos = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// selectorChainHas reports whether e is a selector chain mentioning a
+// component named name (e.g. nw.cost.Bytes has "cost").
+func selectorChainHas(e ast.Expr, name string) bool {
+	for {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if sel.Sel.Name == name {
+			return true
+		}
+		e = sel.X
+	}
+}
+
+// encodeErrCheckEnd returns the position after which returns are no
+// longer excused as encode-failure early-outs: the end of the if
+// statement immediately following the statement containing the encode
+// call (if any), else the end of that statement itself.
+func encodeErrCheckEnd(body *ast.BlockStmt, encode *ast.CallExpr) token.Pos {
+	end := encode.End()
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			if encode.Pos() >= stmt.Pos() && encode.End() <= stmt.End() {
+				end = stmt.End()
+				if i+1 < len(block.List) {
+					if ifStmt, ok := block.List[i+1].(*ast.IfStmt); ok {
+						end = ifStmt.End()
+					}
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return end
+}

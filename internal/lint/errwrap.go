@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap protects the repo's errors.Is contracts (iot.ErrPartialRound,
+// optimize.ErrInfeasible, core.ErrUnachievable, pricing.ErrArbitrage,
+// market.ErrRemote, ...):
+//
+//  1. a sentinel error formatted with anything but %w severs the chain
+//     callers branch on (core.Engine.tolerable, degradation-aware
+//     brokers);
+//  2. any error value formatted with %v/%s/%q silently drops whatever
+//     sentinels it wraps — sever deliberately with err.Error() or
+//     propagate with %w;
+//  3. re-spelling a sentinel's message through a fresh errors.New or
+//     fmt.Errorf forks its identity: errors.Is matches the variable,
+//     not the text.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: `require %w when formatting sentinel errors (and any error value) into
+fmt.Errorf, and forbid re-defining a sentinel's message text: the repo's
+errors.Is contracts (ErrPartialRound and friends) must survive wrapping`,
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			switch {
+			case isFuncNamed(fn, "fmt", "Errorf"):
+				checkErrorf(pass, call)
+			case isFuncNamed(fn, "errors", "New"):
+				checkSentinelRedefinition(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf verifies verb/argument pairing on one fmt.Errorf call.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if ok {
+		checkSentinelMessage(pass, call.Args[0].Pos(), format)
+	}
+	args := call.Args[1:]
+	if !ok || len(args) == 0 {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range args {
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb == 'w' {
+			continue
+		}
+		if obj, isSentinel := isSentinelError(pass.TypesInfo, arg); isSentinel {
+			pass.Reportf(arg.Pos(), "sentinel %s formatted with %%%c: errors.Is callers lose the sentinel; wrap with %%w", obj.Name(), printableVerb(verb))
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			pass.Reportf(arg.Pos(), "error value formatted with %%%c drops any wrapped sentinels; propagate with %%w, or sever explicitly with err.Error()", printableVerb(verb))
+		}
+	}
+}
+
+// checkSentinelRedefinition flags errors.New calls that re-spell an
+// existing sentinel's message anywhere but the sentinel's own
+// declaration.
+func checkSentinelRedefinition(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	msg, ok := constantString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	sent, exists := pass.Sentinels[msg]
+	if !exists || sent.Pos == call.Pos() {
+		return
+	}
+	pass.Reportf(call.Pos(), "errors.New re-defines the message of sentinel %s: errors.Is matches the variable, not the text; reuse the sentinel", sent.Qualified)
+}
+
+// checkSentinelMessage flags fmt.Errorf formats that duplicate a
+// sentinel's exact message instead of wrapping the sentinel.
+func checkSentinelMessage(pass *Pass, pos token.Pos, format string) {
+	if sent, ok := pass.Sentinels[format]; ok && !strings.Contains(format, "%") {
+		pass.Reportf(pos, "message duplicates sentinel %s: wrap the sentinel with %%w instead of re-spelling its text", sent.Qualified)
+	}
+}
+
+// constantString evaluates e as a constant string.
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument of a Printf-style format. Explicit argument indexes ("%[1]v")
+// are rare enough here that the scanner bails and reports no verbs,
+// leaving such calls unchecked rather than mis-paired.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width, precision; a '*' consumes an argument slot.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil // explicit index: give up on pairing
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.0123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+func printableVerb(v byte) byte {
+	if v == 0 {
+		return '?'
+	}
+	return v
+}

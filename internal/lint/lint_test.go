@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"privrange/internal/lint"
+	"privrange/internal/lint/analysistest"
+)
+
+// Each analyzer's golden fixture contains at least one case it must
+// flag and one sanctioned shape it must stay silent on; the harness
+// fails on any mismatch in either direction.
+
+func TestNoiseSource(t *testing.T)     { analysistest.Run(t, lint.NoiseSource, "noisesource") }
+func TestPrivacyBoundary(t *testing.T) { analysistest.Run(t, lint.PrivacyBoundary, "privacyboundary") }
+func TestBudgetFloat(t *testing.T)     { analysistest.Run(t, lint.BudgetFloat, "budgetfloat") }
+func TestBaseLock(t *testing.T)        { analysistest.Run(t, lint.BaseLock, "baselock") }
+func TestErrWrap(t *testing.T)         { analysistest.Run(t, lint.ErrWrap, "errwrap") }
+func TestBilling(t *testing.T)         { analysistest.Run(t, lint.Billing, "billing") }
+
+// TestSuiteCleanOnModule pins the invariant catalog to the tree: the
+// full suite must report nothing on the module itself.
+func TestSuiteCleanOnModule(t *testing.T) { analysistest.CleanModule(t) }

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks the module's packages using only the
+// standard library. Module packages are checked from source (the
+// analyzers need syntax); their standard-library dependencies are
+// resolved from the toolchain's compiled export data, discovered via
+// `go list -deps -export`. This keeps privlint building and running
+// with no module downloads — the property that lets `make lint` run in
+// air-gapped environments.
+type Loader struct {
+	// ModuleDir is the directory containing go.mod.
+	ModuleDir string
+
+	Fset *token.FileSet
+
+	exportFile map[string]string     // import path -> export data file
+	listed     map[string]*listedPkg // import path -> go list record
+	checked    map[string]*Package   // module packages checked from source
+	gc         types.Importer        // std/export-data importer
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+}
+
+// NewLoader returns a loader rooted at the module containing dir. It
+// fails when no enclosing go.mod exists.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	l := &Loader{
+		ModuleDir:  root,
+		Fset:       token.NewFileSet(),
+		exportFile: make(map[string]string),
+		listed:     make(map[string]*listedPkg),
+		checked:    make(map[string]*Package),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// Load lists patterns (plus all dependencies, with export data), then
+// parses and type-checks every matched module package from source in
+// dependency order. It returns the packages matching patterns, sorted
+// by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.list(append([]string{"-deps"}, patterns...)...); err != nil {
+		return nil, err
+	}
+	// A second, dependency-free listing identifies the roots the
+	// patterns actually name.
+	roots, err := l.listRoots(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range roots {
+		pkg, err := l.check(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (non-test
+// files) under the synthetic import path asPath. It exists for the
+// analysistest harness, whose fixture packages live under testdata/
+// where the go tool refuses to look. Fixtures may import module and
+// standard-library packages; those are resolved like any other load.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(asPath, &listedPkg{ImportPath: asPath, Dir: dir, GoFiles: files})
+}
+
+// list runs `go list -export -json` with args and folds the records
+// into the loader's tables.
+func (l *Loader) list(args ...string) error {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export",
+		"-json=ImportPath,Dir,Standard,Export,GoFiles,Imports"}, args...)...)
+	cmd.Dir = l.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if _, ok := l.listed[p.ImportPath]; !ok {
+			rec := p
+			l.listed[p.ImportPath] = &rec
+			if p.Export != "" {
+				l.exportFile[p.ImportPath] = p.Export
+			}
+		}
+	}
+}
+
+// listRoots resolves patterns to the import paths they name.
+func (l *Loader) listRoots(patterns ...string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = l.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return strings.Fields(string(out)), nil
+}
+
+// lookupExport feeds the gc importer compiled export data located by
+// go list. Packages missing from the initial -deps listing (a fixture
+// importing something the module does not) are listed lazily.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exportFile[path]
+	if !ok {
+		if err := l.list(path); err != nil {
+			return nil, err
+		}
+		if file, ok = l.exportFile[path]; !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: module packages resolve to their
+// source-checked form, everything else to compiled export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	if rec, ok := l.listed[path]; ok && !rec.Standard && rec.Dir != "" &&
+		strings.HasPrefix(rec.Dir, l.ModuleDir) {
+		pkg, err := l.check(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// check parses and type-checks one package from source. rec overrides
+// the go list record (used by LoadDir); nil selects the listed one.
+func (l *Loader) check(path string, rec *listedPkg) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	if rec == nil {
+		rec = l.listed[path]
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("lint: package %q was not listed", path)
+	}
+	var files []*ast.File
+	for _, name := range rec.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(rec.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{PkgPath: path, Dir: rec.Dir, Files: files, Types: tpkg, Info: info}
+	l.checked[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,23 @@
+// Package baselock holds golden cases for the baselock analyzer.
+package baselock
+
+import "privrange/internal/iot"
+
+// escapesReturn hands the unlocked base station to the caller.
+func escapesReturn(nw *iot.Network) *iot.BaseStation {
+	return nw.Base() // want `escapes the calling expression`
+}
+
+// escapesVar retains the unlocked base station in a local.
+func escapesVar(nw *iot.Network) int {
+	b := nw.Base() // want `escapes the calling expression`
+	return b.TotalN()
+}
+
+// crossesGoroutine reads the base station concurrently with whatever
+// the network writer is doing.
+func crossesGoroutine(nw *iot.Network, out chan<- int) {
+	go func() {
+		out <- nw.Base().TotalN() // want `inside a goroutine/closure`
+	}()
+}

@@ -1,0 +1,9 @@
+package baselock
+
+import "privrange/internal/iot"
+
+// inlineChain consumes the pointer inside the calling expression, the
+// one sanctioned shape.
+func inlineChain(nw *iot.Network) int {
+	return nw.Base().TotalN()
+}

@@ -1,0 +1,31 @@
+// Package billing holds golden cases for the billing analyzer.
+package billing
+
+import "privrange/internal/wire"
+
+// meter mimics a transport's cost report.
+type meter struct {
+	cost struct {
+		Bytes int64
+	}
+}
+
+// transmitUnbilled encodes but never accounts the bytes.
+func (nw *meter) transmitUnbilled(m wire.Message) error {
+	_, err := wire.Encode(m) // want `encodes a wire message but never bills`
+	return err
+}
+
+// transmitLeaky bills, but an early return slips between the encode
+// and the billing site — the historical under-billing bug.
+func (nw *meter) transmitLeaky(m wire.Message, down bool) error {
+	data, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	if down {
+		return nil // want `return before the attempt is billed`
+	}
+	nw.cost.Bytes += int64(len(data))
+	return nil
+}

@@ -1,0 +1,21 @@
+package billing
+
+import "privrange/internal/wire"
+
+// transmitDeferred registers billing immediately after the encode
+// succeeds, so no later exit path — including the down branch — can
+// skip it. This is the shape iot.Network.transmit uses.
+func (nw *meter) transmitDeferred(m wire.Message, down bool) error {
+	data, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	attempts := 1
+	defer func() {
+		nw.cost.Bytes += int64(len(data)) * int64(attempts)
+	}()
+	if down {
+		return nil
+	}
+	return nil
+}

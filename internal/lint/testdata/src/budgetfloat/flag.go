@@ -1,0 +1,18 @@
+// Package budgetfloat holds golden cases for the budgetfloat analyzer.
+package budgetfloat
+
+// exactGate compares two accumulated budgets for exact equality.
+func exactGate(epsilon, epsilonPrime float64) bool {
+	return epsilon == epsilonPrime // want `exact == on budget-typed floats`
+}
+
+// exactNeq is the != spelling of the same bug.
+func exactNeq(delta, deltaPrime float64) bool {
+	return delta != deltaPrime // want `exact != on budget-typed floats`
+}
+
+// headroom differences two budgets inside a comparison, hiding
+// catastrophic cancellation.
+func headroom(budget, spent, price float64) bool {
+	return budget-spent > price // want `budget difference compared directly`
+}

@@ -1,0 +1,26 @@
+// Package errwrap holds golden cases for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFixture is this package's sentinel, declared once.
+var ErrFixture = errors.New("errwrap fixture: round failed")
+
+// seversSentinel formats the sentinel with %v, severing errors.Is.
+func seversSentinel() error {
+	return fmt.Errorf("collect: %v", ErrFixture) // want `sentinel ErrFixture formatted with %v`
+}
+
+// dropsWrapped formats an arbitrary error with %v, dropping whatever
+// sentinels it wraps.
+func dropsWrapped(err error) error {
+	return fmt.Errorf("collect: %v", err) // want `error value formatted with %v drops any wrapped sentinels`
+}
+
+// redefines forks the sentinel's identity by re-spelling its message.
+func redefines() error {
+	return errors.New("errwrap fixture: round failed") // want `re-defines the message of sentinel .*ErrFixture`
+}

@@ -1,0 +1,19 @@
+package errwrap
+
+import "fmt"
+
+// wrapsSentinel keeps the errors.Is chain intact.
+func wrapsSentinel() error {
+	return fmt.Errorf("collect: %w", ErrFixture)
+}
+
+// wrapsError propagates an arbitrary error with %w.
+func wrapsError(err error) error {
+	return fmt.Errorf("collect: %w", err)
+}
+
+// seversDeliberately severs explicitly: err.Error() is a string, so
+// the break with the chain is visible at the call site.
+func seversDeliberately(err error) error {
+	return fmt.Errorf("collect: %s", err.Error())
+}

@@ -1,0 +1,26 @@
+// Package noisesource holds golden cases for the noisesource analyzer.
+package noisesource
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand outside privrange/internal/stats`
+	"math/rand"         // want `import of math/rand outside privrange/internal/stats`
+	"time"
+)
+
+// rawDraw taps an unseeded generator: the draw is untracked noise.
+func rawDraw() float64 {
+	return rand.Float64()
+}
+
+// osEntropy reaches for the kernel's entropy pool, which can never
+// replay.
+func osEntropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}
+
+// clockSeed feeds wall-clock time into a stream constructor.
+func clockSeed() int64 {
+	return newStream(time.Now().UnixNano()) // want `time.Now\(\)-derived seed passed to newStream`
+}
+
+func newStream(seed int64) int64 { return seed }

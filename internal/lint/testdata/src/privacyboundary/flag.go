@@ -1,0 +1,23 @@
+// Package privacyboundary holds golden cases for the privacyboundary
+// analyzer.
+package privacyboundary
+
+import (
+	"privrange/internal/estimator"
+	"privrange/internal/market"
+	"privrange/internal/sampling"
+)
+
+// leakEstimate releases the un-noised estimate straight to the buyer.
+func leakEstimate(rc estimator.RankCounting, sets []*sampling.SampleSet, q estimator.Query) (*market.Response, error) {
+	raw, err := rc.Estimate(sets, q)
+	if err != nil {
+		return nil, err
+	}
+	return &market.Response{OK: true, Value: raw}, nil // want `un-noised estimate flows into`
+}
+
+// leakRank copies a node's raw rank into a response field.
+func leakRank(set *sampling.SampleSet, resp *market.Response) {
+	resp.Value = float64(set.Samples[0].Rank) // want `flows into .*market\.Response\.Value`
+}

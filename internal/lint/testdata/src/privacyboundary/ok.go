@@ -1,0 +1,25 @@
+package privacyboundary
+
+import (
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+	"privrange/internal/market"
+	"privrange/internal/sampling"
+	"privrange/internal/stats"
+)
+
+// releasePerturbed is the sanctioned path: the raw estimate passes
+// through the dp mechanism before it reaches the response, and the
+// mechanism's output is clean by construction.
+func releasePerturbed(rc estimator.RankCounting, sets []*sampling.SampleSet, q estimator.Query, m dp.Mechanism, rng *stats.RNG) (*market.Response, error) {
+	raw, err := rc.Estimate(sets, q)
+	if err != nil {
+		return nil, err
+	}
+	return &market.Response{OK: true, Value: m.Perturb(raw, rng)}, nil
+}
+
+// releasePlain passes already-released scalars through untouched.
+func releasePlain(value, price float64) market.Response {
+	return market.Response{OK: true, Value: value, Price: price}
+}

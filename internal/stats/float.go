@@ -1,0 +1,31 @@
+package stats
+
+import "math"
+
+// DefaultTolerance is the relative/absolute tolerance ApproxEqual uses:
+// loose enough to absorb the rounding error budget arithmetic
+// accumulates across composition, tight enough that no two distinct
+// tariff prices or epsilon grid points collide.
+const DefaultTolerance = 1e-9
+
+// ApproxEqual reports whether two floats agree within
+// DefaultTolerance, scaled by magnitude: |a−b| ≤ tol·(1+|a|+|b|).
+//
+// Privacy budgets (ε, ε′), accuracy parameters (α, δ) and wallet
+// amounts are accumulated floating-point sums; exact == / != on them
+// mis-gates spend decisions one ulp apart. The privlint budgetfloat
+// analyzer steers all budget comparisons here.
+func ApproxEqual(a, b float64) bool {
+	return ApproxEqualTol(a, b, DefaultTolerance)
+}
+
+// ApproxEqualTol is ApproxEqual with an explicit tolerance.
+func ApproxEqualTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { // fast path; also handles equal infinities
+		return true
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}

@@ -207,7 +207,7 @@ func (s *System) Count(l, u float64, acc Accuracy) (*Answer, error) {
 	ans, err := s.engine.Answer(estimator.Query{L: l, U: u}, acc.internal())
 	if err != nil {
 		if errors.Is(err, optimize.ErrInfeasible) || errors.Is(err, core.ErrUnachievable) {
-			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			return nil, fmt.Errorf("%w: %w", ErrInfeasible, err)
 		}
 		return nil, err
 	}
@@ -290,7 +290,7 @@ func (s *System) CountBatch(ranges []Range, acc Accuracy) ([]*Answer, error) {
 	raw, err := s.engine.AnswerBatch(queries, acc.internal())
 	if err != nil {
 		if errors.Is(err, optimize.ErrInfeasible) || errors.Is(err, core.ErrUnachievable) {
-			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+			return nil, fmt.Errorf("%w: %w", ErrInfeasible, err)
 		}
 		return nil, err
 	}
