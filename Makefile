@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: all check build vet lint privlint staticcheck tools test race cover bench experiments examples fuzz chaos clean
+.PHONY: all check build vet lint privlint staticcheck tools test race cover bench bench-smoke experiments examples fuzz chaos clean
 
 all: build vet test
 
@@ -54,11 +54,20 @@ cover:
 	$(GO) test -cover ./...
 
 # One testing.B target per paper figure + ablations; logs the series.
-# Also runs the hot-path micro-benchmarks (estimator worker pool, batch
-# fan-out, wire codec); baselines live in results/bench-concurrency.txt.
+# Also runs the hot-path micro-benchmarks (estimator worker pool, flat
+# columnar index, batch fan-out, wire codec) and records them in
+# results/bench-index.txt; the pre-index baselines live in
+# results/bench-concurrency.txt.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
-	$(GO) test -bench=. -benchmem -run=NONE ./internal/estimator ./internal/core ./internal/wire
+	@mkdir -p results
+	$(GO) test -bench=. -benchmem -run=NONE ./internal/estimator ./internal/core ./internal/wire | tee results/bench-index.txt
+
+# bench-smoke compiles every benchmark and runs each for exactly one
+# iteration — the CI guard that keeps the bench suite building and
+# runnable without paying for stable timings.
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE ./internal/estimator ./internal/core ./internal/wire
 
 # Regenerate the paper's evaluation as tables (CSV copies in ./results).
 experiments:

@@ -16,11 +16,21 @@ import (
 // all-or-nothing). The answer cache is bypassed: batch semantics promise
 // independent noise per query.
 //
-// Per-query estimation and perturbation fan out across a bounded worker
-// pool. One draw from the engine's seeded RNG keys the batch; query i
-// perturbs with the independent split stream (batchKey, i), so the noise
-// is fresh per batch yet the released values are bit-identical for a
-// fixed seed and call sequence regardless of GOMAXPROCS or scheduling.
+// Estimation runs through the snapshot's columnar index when one is
+// available: the whole batch is evaluated by the tiled flat-index
+// kernel (node-chunk × query-chunk work units over the worker pool,
+// pooled scratch, index-order reduction), so per-query cost is a pair
+// of branch-light binary searches per node and the batch allocates a
+// small constant amount regardless of deployment size. Without an index
+// the per-query SampleSet path fans out instead — same values either
+// way.
+//
+// One draw from the engine's seeded RNG keys the batch; query i
+// perturbs with the independent stream (batchKey, i) (one scratch RNG
+// reseeded per query — bit-identical to allocating per-query streams),
+// so the noise is fresh per batch yet the released values are
+// bit-identical for a fixed seed and call sequence regardless of
+// GOMAXPROCS or scheduling.
 func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) ([]*Answer, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
@@ -47,17 +57,22 @@ func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) 
 	}
 	batchKey := e.rng.Int63()
 	e.releaseMu.Unlock()
-	rc := estimator.RankCounting{P: snap.rate}
+	raws := make([]float64, len(queries))
+	if err := rankEstimateBatch(snap, queries, raws); err != nil {
+		return nil, err
+	}
+	// Perturbation is cheap relative to estimation, so it stays on the
+	// calling goroutine: one backing array for all answers, one scratch
+	// RNG reseeded to stream (batchKey, i) per query.
+	answers := make([]Answer, len(queries))
 	out := make([]*Answer, len(queries))
-	if err := forEach(len(queries), func(i int) error {
-		raw, err := rc.Estimate(snap.sets, queries[i])
-		if err != nil {
-			return err
-		}
-		out[i] = &Answer{
+	noise := stats.NewStream(batchKey, 0)
+	for i := range queries {
+		noise.Reseed(batchKey, int64(i))
+		answers[i] = Answer{
 			Query:             queries[i],
 			Accuracy:          acc,
-			Value:             mech.Perturb(raw, stats.NewStream(batchKey, int64(i))),
+			Value:             mech.Perturb(raws[i], noise),
 			Plan:              plan,
 			Rate:              snap.rate,
 			Nodes:             snap.nodes,
@@ -65,9 +80,7 @@ func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) 
 			Coverage:          snap.coverage,
 			CollectionVersion: snap.version,
 		}
-		return nil
-	}); err != nil {
-		return nil, err
+		out[i] = &answers[i]
 	}
 	return out, nil
 }

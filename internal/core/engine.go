@@ -25,6 +25,7 @@ import (
 
 	"privrange/internal/dp"
 	"privrange/internal/estimator"
+	"privrange/internal/index"
 	"privrange/internal/iot"
 	"privrange/internal/optimize"
 	"privrange/internal/sampling"
@@ -49,14 +50,16 @@ type Source interface {
 	// TotalN returns |D|.
 	TotalN() int
 	// Snapshot returns one atomically consistent view of (sample sets,
-	// rate, node count, record count, sample-state version, coverage).
-	// The returned sets must be immutable — later collections must
-	// replace them, not mutate them — and version must increase whenever
-	// any node's stored sample is rewritten, even at unchanged n and
-	// rate. Coverage is the fraction of records held by currently
-	// reachable nodes; it moves when nodes go down or recover even if
-	// nothing else changed.
-	Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64, coverage float64)
+	// columnar index, rate, node count, record count, sample-state
+	// version, coverage). The returned sets and index must be immutable
+	// — later collections must replace them, not mutate them — and
+	// version must increase whenever any node's stored sample is
+	// rewritten, even at unchanged n and rate. idx may be nil when the
+	// source holds no index built from exactly the current sample state;
+	// the engine then estimates over the sets directly. Coverage is the
+	// fraction of records held by currently reachable nodes; it moves
+	// when nodes go down or recover even if nothing else changed.
+	Snapshot() (sets []*sampling.SampleSet, idx *index.Index, rate float64, nodes, n int, version uint64, coverage float64)
 }
 
 // ErrUnachievable reports that the requested accuracy cannot be met even
@@ -232,8 +235,7 @@ func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, err
 	if err != nil {
 		return nil, err
 	}
-	rc := estimator.RankCounting{P: snap.rate}
-	raw, err := rc.Estimate(snap.sets, q)
+	raw, err := rankEstimate(snap, q)
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +274,7 @@ func (e *Engine) EstimateOnly(q estimator.Query) (float64, error) {
 	if snap.rate <= 0 {
 		return 0, fmt.Errorf("core: no samples collected yet")
 	}
-	rc := estimator.RankCounting{P: snap.rate}
-	return rc.Estimate(snap.sets, q)
+	return rankEstimate(snap, q)
 }
 
 // solveAt solves optimization problem (3) against a snapshot. Pure: it

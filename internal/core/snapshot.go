@@ -1,14 +1,26 @@
 package core
 
-import "privrange/internal/sampling"
+import (
+	"privrange/internal/estimator"
+	"privrange/internal/index"
+	"privrange/internal/sampling"
+)
 
 // snapshot is one immutable, atomically consistent view of the source —
 // everything a query needs once planning is done. Estimation runs
 // lock-free against it: collections replace the underlying sample sets
-// rather than mutating them, so a snapshot taken before a collection
-// stays valid afterwards (it just describes the older state).
+// (and the columnar index) rather than mutating them, so a snapshot
+// taken before a collection stays valid afterwards (it just describes
+// the older state).
 type snapshot struct {
 	sets []*sampling.SampleSet
+	// idx is the columnar sample index built over sets at collection
+	// time, shared immutably through the snapshot. It is nil when the
+	// source has no fresh index (nothing collected yet, or the sample
+	// state was mutated behind the source's back); estimation then falls
+	// back to the SampleSet path, which is slower but always correct —
+	// both paths are property-tested bit-identical.
+	idx  *index.Index
 	rate float64
 	// nodes is k and n is |D| at capture time.
 	nodes, n int
@@ -25,7 +37,7 @@ type snapshot struct {
 // either mode (read for queries, write during collection).
 func (e *Engine) snapshotLocked() snapshot {
 	var s snapshot
-	s.sets, s.rate, s.nodes, s.n, s.version, s.coverage = e.src.Snapshot()
+	s.sets, s.idx, s.rate, s.nodes, s.n, s.version, s.coverage = e.src.Snapshot()
 	return s
 }
 
@@ -34,4 +46,35 @@ func (e *Engine) readSnapshot() snapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.snapshotLocked()
+}
+
+// rankEstimate computes the un-noised RankCounting estimate for one
+// query against a snapshot, preferring the flat columnar index (zero
+// allocations, branch-light binary searches) and falling back to the
+// SampleSet oracle path when no index was captured. The two paths
+// return bit-identical values, so callers cannot observe which one ran.
+func rankEstimate(snap snapshot, q estimator.Query) (float64, error) {
+	rc := estimator.RankCounting{P: snap.rate}
+	if snap.idx != nil {
+		return rc.EstimateIndex(snap.idx, q)
+	}
+	return rc.Estimate(snap.sets, q)
+}
+
+// rankEstimateBatch fills raws[i] with the un-noised estimate for
+// queries[i], using the tiled flat-index batch kernel when the snapshot
+// carries an index and the per-query fallback otherwise.
+func rankEstimateBatch(snap snapshot, queries []estimator.Query, raws []float64) error {
+	rc := estimator.RankCounting{P: snap.rate}
+	if snap.idx != nil {
+		return rc.EstimateIndexBatch(snap.idx, queries, raws)
+	}
+	return forEach(len(queries), func(i int) error {
+		raw, err := rc.Estimate(snap.sets, queries[i])
+		if err != nil {
+			return err
+		}
+		raws[i] = raw
+		return nil
+	})
 }

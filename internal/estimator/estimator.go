@@ -81,14 +81,15 @@ func (b BasicCounting) estimateNode(set *sampling.SampleSet, q Query) (float64, 
 }
 
 // Estimate estimates the global count γ(l, u, D) as the sum of per-node
-// estimates. Across many nodes the per-node work fans out over a bounded
-// worker pool (see sumNodes); the result is bit-identical to the
+// estimates. When there are enough nodes and enough total search work
+// to win, the per-node work fans out over a bounded worker pool (see
+// sumNodes / engageParallel); the result is bit-identical to the
 // sequential sum.
 func (b BasicCounting) Estimate(sets []*sampling.SampleSet, q Query) (float64, error) {
 	if err := validateSets(sets, b.P, q); err != nil {
 		return 0, err
 	}
-	return sumNodes(len(sets), func(i int) (float64, error) {
+	return sumNodes(len(sets), setsEstimateWork(sets), func(i int) (float64, error) {
 		return b.estimateNode(sets[i], q)
 	})
 }
@@ -144,14 +145,15 @@ func (r RankCounting) estimateNode(set *sampling.SampleSet, q Query) (float64, e
 }
 
 // Estimate computes the global estimate γ̂(l, u, S) = Σ_i γ̂(l, u, i)
-// (Equation 2). Across many nodes the per-node work fans out over a
-// bounded worker pool (see sumNodes); the result is bit-identical to the
+// (Equation 2). When there are enough nodes and enough total search
+// work to win, the per-node work fans out over a bounded worker pool
+// (see sumNodes / engageParallel); the result is bit-identical to the
 // sequential sum.
 func (r RankCounting) Estimate(sets []*sampling.SampleSet, q Query) (float64, error) {
 	if err := validateSets(sets, r.P, q); err != nil {
 		return 0, err
 	}
-	return sumNodes(len(sets), func(i int) (float64, error) {
+	return sumNodes(len(sets), setsEstimateWork(sets), func(i int) (float64, error) {
 		return r.estimateNode(sets[i], q)
 	})
 }

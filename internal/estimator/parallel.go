@@ -1,24 +1,81 @@
 package estimator
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
+
+	"privrange/internal/index"
+	"privrange/internal/sampling"
 )
 
-// parallelMinSets is the node count below which the estimators keep the
-// plain sequential loop: for micro-deployments the per-node work (a few
-// binary searches) is far cheaper than spawning a worker pool.
+// parallelMinSets is the node count below which the estimators always
+// keep the plain sequential loop: for micro-deployments the per-node
+// work (a few binary searches) is far cheaper than spawning a worker
+// pool.
 const parallelMinSets = 32
 
+// parallelMinWork is the estimated sequential cost, in search-step
+// units (see estimateWork), below which the pool is a net loss and the
+// estimators stay sequential even past parallelMinSets. The recorded
+// baseline (results/bench-concurrency.txt) showed the old node-count
+// gate engaging the pool on k=256 nodes of ~1.2k samples — ~12µs of
+// sequential work — and losing to its own spawn/join overhead; that
+// shape scores ~10k units here and stays sequential. The pool engages
+// around ~64k units (hundreds of µs of search work), where fan-out
+// overhead is amortized many times over. TestParallelEngagement pins
+// both sides of the threshold.
+const parallelMinWork = 1 << 16
+
+// perNodeOverheadSteps models the fixed per-node cost (call, bounds,
+// case dispatch) in the same units as one binary-search probe.
+const perNodeOverheadSteps = 8
+
+// estimateWork scores the sequential cost of one global estimate over k
+// nodes holding samples total sample instances: two binary searches of
+// ~log2(avg samples) probes per node plus fixed per-node overhead. The
+// unit is one search probe (~a few ns); the score only gates the
+// parallel/sequential decision, so it needs to be cheap and monotone,
+// not exact.
+func estimateWork(k, samples int) int {
+	if k <= 0 {
+		return 0
+	}
+	avg := samples / k
+	return k * (2*bits.Len(uint(avg)) + perNodeOverheadSteps)
+}
+
+// setsEstimateWork scores one estimate over SampleSet slices.
+func setsEstimateWork(sets []*sampling.SampleSet) int {
+	samples := 0
+	for _, set := range sets {
+		samples += len(set.Samples)
+	}
+	return estimateWork(len(sets), samples)
+}
+
+// flatEstimateWork scores one estimate over the columnar index.
+func flatEstimateWork(ix *index.Index) int {
+	return estimateWork(ix.Nodes(), ix.Samples())
+}
+
+// engageParallel is the single gate deciding whether estimation work
+// fans out over the worker pool: enough nodes to split, enough total
+// work to amortize the spawn/join overhead, and more than one P to run
+// on. Parallelism must only engage when it wins — the recorded
+// regression was the old gate ignoring per-node sample size.
+func engageParallel(k, work int) bool {
+	return k >= parallelMinSets && work >= parallelMinWork && runtime.GOMAXPROCS(0) >= 2
+}
+
 // sumNodes evaluates node(i) for every i in [0, k) and returns the sum
-// taken in index order. At or above parallelMinSets (and with more than
-// one P available) the evaluations fan out over a bounded worker pool —
-// one contiguous chunk per GOMAXPROCS worker. The reduction always adds
-// per-node terms in index order, so the result is bit-identical to the
-// sequential loop regardless of worker count or scheduling.
-func sumNodes(k int, node func(int) (float64, error)) (float64, error) {
-	workers := runtime.GOMAXPROCS(0)
-	if k < parallelMinSets || workers < 2 {
+// taken in index order. When engageParallel says the work merits it,
+// the evaluations fan out over a bounded worker pool — one contiguous
+// chunk per GOMAXPROCS worker. The reduction always adds per-node terms
+// in index order, so the result is bit-identical to the sequential loop
+// regardless of worker count or scheduling.
+func sumNodes(k, work int, node func(int) (float64, error)) (float64, error) {
+	if !engageParallel(k, work) {
 		total := 0.0
 		for i := 0; i < k; i++ {
 			est, err := node(i)
@@ -29,6 +86,7 @@ func sumNodes(k int, node func(int) (float64, error)) (float64, error) {
 		}
 		return total, nil
 	}
+	workers := runtime.GOMAXPROCS(0)
 	if workers > k {
 		workers = k
 	}

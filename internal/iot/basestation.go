@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sort"
 
+	"privrange/internal/index"
 	"privrange/internal/sampling"
 	"privrange/internal/wire"
 )
 
 // BaseStation aggregates sample reports from all nodes and exposes the
-// merged per-node sample sets the broker's estimator consumes.
+// merged per-node sample sets the broker's estimator consumes, plus the
+// columnar sample index the broker's flat hot path queries.
 type BaseStation struct {
 	sets map[int]*sampling.SampleSet
 	seen map[int]bool
@@ -18,6 +20,12 @@ type BaseStation struct {
 	// detect that sample state moved even when |D| and the rate did not —
 	// e.g. a recovered node re-reporting a redrawn sample.
 	version uint64
+	// idx is the columnar index over sets, built by RebuildIndex at
+	// version idxVersion. It is immutable once built; any accepted
+	// report makes it stale (idxVersion falls behind version) until the
+	// next rebuild, so a stale index is never served.
+	idx        *index.Index
+	idxVersion uint64
 }
 
 // NewBaseStation returns an empty base station.
@@ -64,6 +72,40 @@ func (b *BaseStation) HandleReport(rep *wire.SampleReport) error {
 // Version returns the monotonic sample-state version: how many reports
 // have been accepted. Any change to the stored samples changes it.
 func (b *BaseStation) Version() uint64 { return b.version }
+
+// RebuildIndex (re)builds the columnar sample index when it is stale —
+// i.e. when any report was accepted since the last build. The network
+// calls it once at the end of every collection/heartbeat round, so the
+// per-round build cost is paid once and every query amortizes it. A
+// build failure (only possible on sizes/ranks outside the index's int32
+// columns) leaves the index unset; queries then fall back to the
+// SampleSet path, trading speed for correctness, and the error is
+// returned for the caller to surface.
+func (b *BaseStation) RebuildIndex() error {
+	if b.idx != nil && b.idxVersion == b.version {
+		return nil
+	}
+	ix, err := index.Build(b.SampleSets())
+	if err != nil {
+		b.idx = nil
+		return fmt.Errorf("iot: rebuilding sample index: %w", err)
+	}
+	b.idx = ix
+	b.idxVersion = b.version
+	return nil
+}
+
+// Index returns the columnar sample index and whether it is fresh —
+// built from exactly the current sample state. Callers must treat a
+// stale or missing index (ok == false) as absent and use the SampleSet
+// path: serving a stale index would answer queries against samples the
+// version says are gone.
+func (b *BaseStation) Index() (*index.Index, bool) {
+	if b.idx == nil || b.idxVersion != b.version {
+		return nil, false
+	}
+	return b.idx, true
+}
 
 // mergeByRank merges two rank-sorted sample slices, rejecting nothing:
 // duplicates cannot occur because nodes never reship a rank within a

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"privrange/internal/index"
 	"privrange/internal/sampling"
 	"privrange/internal/stats"
 	"privrange/internal/wire"
@@ -396,6 +397,12 @@ func (nw *Network) collect(p float64) (*CollectionReport, error) {
 		nw.noteSuccessLocked(id)
 		rep.Refreshed = append(rep.Refreshed, id)
 	}
+	// Rebuild the columnar index once per round (still under the writer
+	// lock) so every subsequent query reads it for free. A failed build
+	// only means degraded speed, never a wrong answer — Snapshot then
+	// reports no index and the broker estimates over the SampleSets —
+	// so it must not fail the round or mask its partial-round error.
+	_ = nw.base.RebuildIndex()
 	rep.Achieved = nw.rate()
 	rep.Coverage = nw.coverageLocked()
 	rep.Version = nw.base.Version()
@@ -587,6 +594,9 @@ func (nw *Network) HeartbeatRound() (*HeartbeatReport, error) {
 		nw.noteSuccessLocked(id)
 		rep.Delivered = append(rep.Delivered, id)
 	}
+	// Heartbeat piggybacks can rewrite stored samples; refresh the
+	// columnar index before queries resume (best-effort, like collect).
+	_ = nw.base.RebuildIndex()
 	return rep, rep.Err()
 }
 
@@ -600,17 +610,22 @@ func (nw *Network) SampleSets() []*sampling.SampleSet {
 }
 
 // Snapshot returns one atomically consistent view of the queryable
-// state: the per-node sample sets, the guaranteed sampling rate, node
-// and record counts, the monotonic sample-state version, and the
-// reachable-record coverage. The broker estimates against a snapshot
-// lock-free — the sets are immutable, the version lets answer caches
-// detect sample-state changes invisible to (n, rate) alone, and the
-// coverage discloses how much of the data a degraded deployment can
-// still refresh (provenance for best-effort answers).
-func (nw *Network) Snapshot() (sets []*sampling.SampleSet, rate float64, nodes, n int, version uint64, coverage float64) {
+// state: the per-node sample sets, the columnar sample index built over
+// them (nil when no fresh index exists — e.g. before the first
+// collection or after a direct Base() mutation — in which case the
+// broker falls back to the SampleSet path), the guaranteed sampling
+// rate, node and record counts, the monotonic sample-state version, and
+// the reachable-record coverage. The broker estimates against a
+// snapshot lock-free — the sets and index are immutable, the version
+// lets answer caches detect sample-state changes invisible to
+// (n, rate) alone, and the coverage discloses how much of the data a
+// degraded deployment can still refresh (provenance for best-effort
+// answers).
+func (nw *Network) Snapshot() (sets []*sampling.SampleSet, idx *index.Index, rate float64, nodes, n int, version uint64, coverage float64) {
 	nw.mu.RLock()
 	defer nw.mu.RUnlock()
-	return nw.base.SampleSets(), nw.rate(), len(nw.nodes), nw.totalN(), nw.base.Version(), nw.coverageLocked()
+	idx, _ = nw.base.Index()
+	return nw.base.SampleSets(), idx, nw.rate(), len(nw.nodes), nw.totalN(), nw.base.Version(), nw.coverageLocked()
 }
 
 // StateVersion returns the base station's monotonic sample-state

@@ -9,12 +9,16 @@ import (
 // market's released types without passing through the dp release path.
 //
 // Sources of taint:
-//   - any expression whose type contains sampling.Sample/SampleSet —
-//     the raw rank-annotated per-node data the (α,δ)-guarantee says
-//     must never be released;
-//   - the un-noised estimates: (estimator.RankCounting).Estimate and
-//     (*core.Engine).EstimateOnly. Both are broker-internal by
-//     contract (EstimateOnly's doc says "It never leaves the broker").
+//   - any expression whose type contains sampling.Sample/SampleSet or
+//     index.Index — the raw rank-annotated per-node data the
+//     (α,δ)-guarantee says must never be released (the columnar index
+//     is the same data in flat form);
+//   - the un-noised estimates: (estimator.RankCounting).Estimate, its
+//     flat twin EstimateIndex, and (*core.Engine).EstimateOnly. All are
+//     broker-internal by contract (EstimateOnly's doc says "It never
+//     leaves the broker");
+//   - the out slice of (estimator.RankCounting).EstimateIndexBatch,
+//     which the call fills with un-noised estimates.
 //
 // Sinks: field values of market.Response and market.Receipt, the two
 // types that travel back to consumers.
@@ -35,6 +39,7 @@ and the accountant, or the (α,δ)/ε′ privacy contract is silently void`,
 const (
 	samplingPkg  = "privrange/internal/sampling"
 	estimatorPkg = "privrange/internal/estimator"
+	indexPkg     = "privrange/internal/index"
 	corePkg      = "privrange/internal/core"
 	marketPkg    = "privrange/internal/market"
 	iotPkg       = "privrange/internal/iot"
@@ -90,6 +95,13 @@ func (t *taintState) propagate(n ast.Node) bool {
 			t.markVar(n.Key)
 			t.markVar(n.Value)
 		}
+	case *ast.CallExpr:
+		// EstimateIndexBatch fills its out argument with un-noised
+		// estimates: the slice is tainted from the call onward.
+		fn := calleeFunc(t.pass.TypesInfo, n)
+		if isFuncNamed(fn, estimatorPkg, "RankCounting.EstimateIndexBatch") && len(n.Args) == 3 {
+			t.markVar(n.Args[2])
+		}
 	}
 	return true
 }
@@ -135,7 +147,8 @@ func (t *taintState) tainted(e ast.Expr) bool {
 	// Type-level taint: raw sample containers are tainted wherever
 	// they appear.
 	if tv, ok := t.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
-		if typeContains(tv.Type, samplingPkg, "Sample") || typeContains(tv.Type, samplingPkg, "SampleSet") {
+		if typeContains(tv.Type, samplingPkg, "Sample") || typeContains(tv.Type, samplingPkg, "SampleSet") ||
+			typeContains(tv.Type, indexPkg, "Index") {
 			return true
 		}
 	}
@@ -147,6 +160,7 @@ func (t *taintState) tainted(e ast.Expr) bool {
 	case *ast.CallExpr:
 		fn := calleeFunc(t.pass.TypesInfo, e)
 		if isFuncNamed(fn, estimatorPkg, "RankCounting.Estimate") ||
+			isFuncNamed(fn, estimatorPkg, "RankCounting.EstimateIndex") ||
 			isFuncNamed(fn, corePkg, "Engine.EstimateOnly") {
 			return true
 		}

@@ -4,6 +4,7 @@ package privacyboundary
 
 import (
 	"privrange/internal/estimator"
+	"privrange/internal/index"
 	"privrange/internal/market"
 	"privrange/internal/sampling"
 )
@@ -20,4 +21,25 @@ func leakEstimate(rc estimator.RankCounting, sets []*sampling.SampleSet, q estim
 // leakRank copies a node's raw rank into a response field.
 func leakRank(set *sampling.SampleSet, resp *market.Response) {
 	resp.Value = float64(set.Samples[0].Rank) // want `flows into .*market\.Response\.Value`
+}
+
+// leakFlatEstimate releases the un-noised flat-index estimate — the
+// columnar hot path is held to the same boundary as the SampleSet path.
+func leakFlatEstimate(rc estimator.RankCounting, ix *index.Index, q estimator.Query) (*market.Response, error) {
+	raw, err := rc.EstimateIndex(ix, q)
+	if err != nil {
+		return nil, err
+	}
+	return &market.Response{OK: true, Value: raw}, nil // want `un-noised estimate flows into`
+}
+
+// leakBatchEstimate releases a raw estimate the batch API wrote into its
+// out slice.
+func leakBatchEstimate(rc estimator.RankCounting, ix *index.Index, qs []estimator.Query, resp *market.Response) error {
+	raws := make([]float64, len(qs))
+	if err := rc.EstimateIndexBatch(ix, qs, raws); err != nil {
+		return err
+	}
+	resp.Value = raws[0] // want `flows into .*market\.Response\.Value`
+	return nil
 }

@@ -3,6 +3,7 @@ package privacyboundary
 import (
 	"privrange/internal/dp"
 	"privrange/internal/estimator"
+	"privrange/internal/index"
 	"privrange/internal/market"
 	"privrange/internal/sampling"
 	"privrange/internal/stats"
@@ -22,4 +23,15 @@ func releasePerturbed(rc estimator.RankCounting, sets []*sampling.SampleSet, q e
 // releasePlain passes already-released scalars through untouched.
 func releasePlain(value, price float64) market.Response {
 	return market.Response{OK: true, Value: value, Price: price}
+}
+
+// releaseFlatPerturbed is the sanctioned flat-index path: the raw
+// estimate from the columnar hot path goes through the mechanism before
+// reaching the response, exactly like the SampleSet path.
+func releaseFlatPerturbed(rc estimator.RankCounting, ix *index.Index, q estimator.Query, m dp.Mechanism, rng *stats.RNG) (*market.Response, error) {
+	raw, err := rc.EstimateIndex(ix, q)
+	if err != nil {
+		return nil, err
+	}
+	return &market.Response{OK: true, Value: m.Perturb(raw, rng)}, nil
 }

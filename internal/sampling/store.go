@@ -25,6 +25,15 @@ type NodeStore struct {
 	taken []bool // parallel to the sorted snapshot backing the last draw
 	dirty bool   // data changed since the last draw
 	gen   int    // incremented on every full (non-top-up) draw
+	// sorted caches tree.Sorted() for the snapshot backing the last
+	// draw; valid exactly while !dirty, so top-ups and repeat SampleAt
+	// calls at an unchanged rate reuse it instead of re-walking (and
+	// re-allocating) the whole tree per draw.
+	sorted []float64
+	// count is the running number of taken instances in the current
+	// sample, maintained incrementally by fullDraw and topUp so
+	// SampleCount never has to scan taken.
+	count int
 }
 
 // NewNodeStore returns an empty store for node id. Sampling and tree
@@ -89,10 +98,14 @@ func (n *NodeStore) SampleAt(p float64) (*SampleSet, error) {
 }
 
 func (n *NodeStore) fullDraw(p float64) {
-	size := n.tree.Len()
-	n.taken = make([]bool, size)
+	n.sorted = n.tree.Sorted()
+	n.taken = make([]bool, len(n.sorted))
+	n.count = 0
 	for j := range n.taken {
-		n.taken[j] = n.rng.Bernoulli(p)
+		if n.rng.Bernoulli(p) {
+			n.taken[j] = true
+			n.count++
+		}
 	}
 	n.dirty = false
 	n.gen++
@@ -110,29 +123,28 @@ func (n *NodeStore) topUp(p float64) {
 	for j, already := range n.taken {
 		if !already && n.rng.Bernoulli(q) {
 			n.taken[j] = true
+			n.count++
 		}
 	}
 }
 
+// currentSet materializes the sample from the cached sorted snapshot —
+// valid because every path that dirties the data forces fullDraw (which
+// refreshes the cache) before reaching here.
 func (n *NodeStore) currentSet() *SampleSet {
-	sorted := n.tree.Sorted()
-	set := &SampleSet{N: len(sorted)}
+	set := &SampleSet{
+		N:       len(n.sorted),
+		Samples: make([]Sample, 0, n.count),
+	}
 	for j, took := range n.taken {
 		if took {
-			set.Samples = append(set.Samples, Sample{Value: sorted[j], Rank: j + 1})
+			set.Samples = append(set.Samples, Sample{Value: n.sorted[j], Rank: j + 1})
 		}
 	}
 	return set
 }
 
 // SampleCount returns how many instances the current sample holds (0
-// before any draw).
-func (n *NodeStore) SampleCount() int {
-	c := 0
-	for _, took := range n.taken {
-		if took {
-			c++
-		}
-	}
-	return c
-}
+// before any draw). O(1): the count is maintained across draws and
+// top-ups rather than recounted.
+func (n *NodeStore) SampleCount() int { return n.count }

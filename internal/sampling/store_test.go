@@ -144,3 +144,79 @@ func TestNodeStoreSameRateIsStable(t *testing.T) {
 		}
 	}
 }
+
+// TestSampleCountTracksDrawsAndTopUps pins the O(1) running counter:
+// SampleCount must equal len(currentSet().Samples) across full draws,
+// top-ups and data invalidation, without ever rescanning taken.
+func TestSampleCountTracksDrawsAndTopUps(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(2, 11)
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = float64(i % 37)
+	}
+	ns.AddAll(data)
+	check := func(stage string) {
+		set, err := ns.SampleAt(ns.Rate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ns.SampleCount() != len(set.Samples) {
+			t.Fatalf("%s: SampleCount = %d, set has %d", stage, ns.SampleCount(), len(set.Samples))
+		}
+	}
+	if _, err := ns.SampleAt(0.2); err != nil {
+		t.Fatal(err)
+	}
+	check("after full draw")
+	if _, err := ns.SampleAt(0.5); err != nil {
+		t.Fatal(err)
+	}
+	check("after top-up")
+	if _, err := ns.SampleAt(0.9); err != nil {
+		t.Fatal(err)
+	}
+	check("after second top-up")
+	// Lowering the rate redraws from scratch.
+	if _, err := ns.SampleAt(0.1); err != nil {
+		t.Fatal(err)
+	}
+	check("after redraw at lower rate")
+	// New data invalidates the sample; the next draw recounts.
+	ns.Add(999)
+	if _, err := ns.SampleAt(0.1); err != nil {
+		t.Fatal(err)
+	}
+	check("after invalidating insert")
+	if _, err := ns.SampleAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if ns.SampleCount() != ns.Len() {
+		t.Fatalf("p=1: SampleCount = %d, want %d", ns.SampleCount(), ns.Len())
+	}
+}
+
+// TestCachedSortedSeesNewData guards the sorted-snapshot cache: a draw
+// after an insert must sample the new value's world, not the cached one.
+func TestCachedSortedSeesNewData(t *testing.T) {
+	t.Parallel()
+	ns := NewNodeStore(4, 23)
+	ns.AddAll([]float64{1, 2, 3})
+	if _, err := ns.SampleAt(1); err != nil {
+		t.Fatal(err)
+	}
+	ns.Add(0.5) // shifts every rank
+	set, err := ns.SampleAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Samples) != 4 || set.N != 4 {
+		t.Fatalf("post-insert draw has %d samples over N=%d, want 4/4", len(set.Samples), set.N)
+	}
+	if set.Samples[0].Value != 0.5 || set.Samples[0].Rank != 1 {
+		t.Fatalf("first sample = (%v,%d), want the inserted (0.5,1)", set.Samples[0].Value, set.Samples[0].Rank)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

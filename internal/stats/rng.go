@@ -58,6 +58,16 @@ func NewStream(seed, stream int64) *RNG {
 	return &RNG{rand: rand.New(rand.NewSource(int64(splitmix(splitmix(uint64(seed)) ^ splitmix(uint64(stream))))))}
 }
 
+// Reseed re-keys this RNG in place to the deterministic stream
+// (seed, stream) — the allocation-free form of NewStream for hot paths
+// that walk many streams with one scratch RNG. After Reseed(s, i) the
+// RNG emits exactly the sequence NewStream(s, i) would, so batch code
+// can reuse one generator per batch instead of allocating one per
+// query while keeping the released values bit-identical.
+func (r *RNG) Reseed(seed, stream int64) {
+	r.rand.Seed(int64(splitmix(splitmix(uint64(seed)) ^ splitmix(uint64(stream)))))
+}
+
 // splitmix is the SplitMix64 finalizer, a strong 64-bit mixing function.
 func splitmix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

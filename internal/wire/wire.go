@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"privrange/internal/sampling"
 )
@@ -90,15 +91,31 @@ type Ack struct {
 // Tag implements Message.
 func (*Ack) Tag() byte { return TagAck }
 
-// Encode serializes a message to its wire form.
+// encodeBufs and decodeReaders recycle the codec's scratch objects
+// across messages: the ingest path encodes and decodes one message per
+// node per round, and a fresh bytes.Buffer per Encode re-pays its
+// growth allocations every time. Pooling changes neither the wire
+// format nor the byte accounting — Encode still returns an exact-length
+// private slice, and the pooled objects never escape this package.
+var (
+	encodeBufs    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	decodeReaders = sync.Pool{New: func() any { return new(bytes.Reader) }}
+)
+
+// Encode serializes a message to its wire form. The returned slice is
+// freshly allocated and owned by the caller.
 func Encode(m Message) ([]byte, error) {
 	if m == nil {
 		return nil, fmt.Errorf("wire: nil message")
 	}
-	var buf bytes.Buffer
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
 	buf.WriteByte(m.Tag())
-	m.encodeBody(&buf)
-	return buf.Bytes(), nil
+	m.encodeBody(buf)
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encodeBufs.Put(buf)
+	return out, nil
 }
 
 // Decode parses one message from data and returns it along with the
@@ -107,7 +124,14 @@ func Decode(data []byte) (Message, int, error) {
 	if len(data) == 0 {
 		return nil, 0, fmt.Errorf("wire: empty input")
 	}
-	r := bytes.NewReader(data)
+	r := decodeReaders.Get().(*bytes.Reader)
+	r.Reset(data)
+	defer func() {
+		// Drop the reference to the caller's data before pooling so the
+		// pool never pins a payload alive.
+		r.Reset(nil)
+		decodeReaders.Put(r)
+	}()
 	tag, _ := r.ReadByte()
 	var m Message
 	switch tag {
