@@ -27,8 +27,9 @@ vet:
 lint: vet privlint staticcheck
 
 # privlint is the repo's own go/analysis-style suite (internal/lint):
-# six analyzers mechanizing the privacy, determinism, locking, billing
-# and error-wrapping invariants. See DESIGN.md §8 for the catalog.
+# seven analyzers mechanizing the privacy, determinism, locking,
+# billing, error-wrapping and telemetry-taint invariants. See DESIGN.md
+# §8 for the catalog.
 privlint:
 	$(GO) run ./cmd/privlint ./...
 
@@ -57,11 +58,16 @@ cover:
 # Also runs the hot-path micro-benchmarks (estimator worker pool, flat
 # columnar index, batch fan-out, wire codec) and records them in
 # results/bench-index.txt; the pre-index baselines live in
-# results/bench-concurrency.txt.
+# results/bench-concurrency.txt. The telemetry-overhead comparison
+# (instrumented hot paths with and without a live registry) lands in
+# results/bench-telemetry.txt plus a machine-readable
+# results/bench-telemetry.json via cmd/benchjson.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
 	@mkdir -p results
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/estimator ./internal/core ./internal/wire | tee results/bench-index.txt
+	$(GO) test -bench='Telemetry|AnswerBatch|EstimateFlatIndex|EstimateIndexBatch' -benchmem -run=NONE ./internal/core ./internal/estimator | tee results/bench-telemetry.txt
+	$(GO) run ./cmd/benchjson -o results/bench-telemetry.json results/bench-telemetry.txt
 
 # bench-smoke compiles every benchmark and runs each for exactly one
 # iteration — the CI guard that keeps the bench suite building and

@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into a machine-readable JSON summary so CI and the results/ archive
+// can diff benchmark runs without re-parsing the text format. Each
+// benchmark line becomes one record with the op name (suffix -P CPU
+// count stripped), iterations, ns/op and — when -benchmem was on —
+// B/op and allocs/op. Repeated runs of the same benchmark (-count>1)
+// are kept as separate records in input order so variance stays
+// visible.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o results/bench.json
+//	benchjson -o out.json bench-output.txt
+//
+// With file arguments it reads those instead of stdin. Without -o it
+// writes the JSON to stdout. Lines that are not benchmark results
+// (headers, PASS/ok trailers) are ignored, so `tee`-captured output
+// feeds straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Op          string  `json:"op"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches the testing package's benchmark result format:
+//
+//	BenchmarkName-8   1203   994487 ns/op   16983 B/op   8 allocs/op
+//
+// The B/op and allocs/op columns are present only under -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: iterations %q: %w", m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: ns/op %q: %w", m[3], err)
+		}
+		rec := Record{Op: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			rec.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			rec.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+func run(outPath string, paths []string) error {
+	var records []Record
+	if len(paths) == 0 {
+		recs, err := parse(os.Stdin)
+		if err != nil {
+			return err
+		}
+		records = recs
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		recs, err := parse(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		records = append(records, recs...)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt ...]\nReads `go test -bench` output (files or stdin) and emits a JSON summary.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(*outPath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: privrange/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAnswerBatchParallel          	    1071	   1119923 ns/op	   16983 B/op	       8 allocs/op
+BenchmarkAnswerBatchParallelTelemetry 	    1177	   1012047 ns/op	   16980 B/op	       8 allocs/op
+BenchmarkEstimateFlatIndex-8          	  137204	      8728 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMemStats                   	     500	   2000000 ns/op
+PASS
+ok  	privrange/internal/core	14.338s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("parsed %d records, want 4: %+v", len(recs), recs)
+	}
+	first := recs[0]
+	if first.Op != "BenchmarkAnswerBatchParallel" || first.Iterations != 1071 ||
+		first.NsPerOp != 1119923 || first.BytesPerOp != 16983 || first.AllocsPerOp != 8 {
+		t.Errorf("record 0 = %+v", first)
+	}
+	// The -8 GOMAXPROCS suffix is stripped so records diff across hosts.
+	if recs[2].Op != "BenchmarkEstimateFlatIndex" {
+		t.Errorf("suffix not stripped: %q", recs[2].Op)
+	}
+	if recs[2].AllocsPerOp != 0 || recs[2].BytesPerOp != 0 {
+		t.Errorf("zero-alloc record mangled: %+v", recs[2])
+	}
+	// A line without -benchmem columns still yields ns/op.
+	if recs[3].NsPerOp != 2000000 || recs[3].AllocsPerOp != 0 {
+		t.Errorf("plain record = %+v", recs[3])
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	recs, err := parse(strings.NewReader("PASS\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("non-benchmark input should parse to zero records, got %+v", recs)
+	}
+}

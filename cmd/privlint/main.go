@@ -1,6 +1,6 @@
-// Command privlint runs the repo's custom static-analysis suite: six
-// analyzers that mechanically enforce the privacy, determinism, locking
-// and billing invariants DESIGN.md §8 catalogs. It is built only on the
+// Command privlint runs the repo's custom static-analysis suite: seven
+// analyzers that mechanically enforce the privacy, determinism, locking,
+// billing and telemetry-taint invariants DESIGN.md §8 catalogs. It is built only on the
 // standard library, so it compiles and runs offline with nothing but
 // the Go toolchain.
 //

@@ -7,6 +7,7 @@
 //
 //	privranged [-addr 127.0.0.1:7070] [-data pollution.csv] [-nodes 16]
 //	           [-seed 1] [-base-fee 1] [-tariff-c 1e9] [-budget 0]
+//	           [-ops 127.0.0.1:7071]
 //
 // The protocol is newline-delimited JSON; see cmd/privquery for a client.
 package main
@@ -34,15 +35,16 @@ func main() {
 		prepaid = flag.Bool("prepaid", false, "require prepaid customer accounts (privquery deposit)")
 		state   = flag.String("state", "", "trading-state snapshot file (loaded on boot, saved on shutdown)")
 		custCap = flag.Float64("customer-cap", 0, "per-customer privacy cap per dataset (0 = uncapped)")
+		ops     = flag.String("ops", "", "operational HTTP endpoint address (metrics, snapshot, pprof); empty disables")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *custCap); err != nil {
+	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *custCap, *ops); err != nil {
 		fmt.Fprintf(os.Stderr, "privranged: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath string, custCap float64) error {
+func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath string, custCap float64, opsAddr string) error {
 	table, err := loadTable(dataPath, seed)
 	if err != nil {
 		return err
@@ -53,6 +55,11 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 	}
 	if prepaid {
 		mp.EnablePrepaid()
+	}
+	if opsAddr != "" {
+		// Telemetry must be on before datasets register so every layer
+		// is instrumented from the first collection round.
+		mp.EnableTelemetry()
 	}
 	if custCap > 0 {
 		if err := mp.SetCustomerPrivacyCap(custCap); err != nil {
@@ -87,6 +94,14 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 	}
 	fmt.Printf("privranged: serving %d datasets of %d records on %s\n",
 		len(dataset.Pollutants()), table.Len(), srv.Addr())
+	if opsAddr != "" {
+		opsSrv, err := mp.ServeOps(opsAddr)
+		if err != nil {
+			return err
+		}
+		defer opsSrv.Close()
+		fmt.Printf("privranged: ops endpoint (metrics, snapshot, pprof) on http://%s\n", opsSrv.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -6,6 +6,7 @@ import (
 	"privrange/internal/dp"
 	"privrange/internal/estimator"
 	"privrange/internal/stats"
+	"privrange/internal/telemetry"
 )
 
 // AnswerBatch serves many range queries at one shared accuracy level.
@@ -32,40 +33,57 @@ import (
 // bit-identical for a fixed seed and call sequence regardless of
 // GOMAXPROCS or scheduling.
 func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) ([]*Answer, error) {
+	m := e.tele.Load()
+	var tr telemetry.Trace
+	m.begin(&tr, "core.answer_batch")
+	out, outcome, indexed, err := e.answerBatch(queries, acc, &tr)
+	m.finishBatch(&tr, outcome, indexed, len(out))
+	return out, err
+}
+
+// answerBatch is the pipeline behind AnswerBatch; the wrapper owns the
+// stack-held trace and closes it with the reported outcome and
+// estimation path.
+func (e *Engine) answerBatch(queries []estimator.Query, acc estimator.Accuracy, tr *telemetry.Trace) (out []*Answer, outcome string, indexed bool, err error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("core: empty batch")
+		return nil, outcomeInvalid, false, fmt.Errorf("core: empty batch")
 	}
 	for i, q := range queries {
 		if err := q.Validate(); err != nil {
-			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+			return nil, outcomeInvalid, false, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
-	plan, snap, err := e.planFor(acc, e.readSnapshot())
+	snap := e.readSnapshot()
+	tr.Mark("sample_lookup")
+	plan, snap, err := e.planFor(acc, snap)
+	tr.Mark("optimize")
 	if err != nil {
-		return nil, err
+		return nil, outcomeError, false, err
 	}
+	indexed = snap.idx != nil
 	mech, err := dp.NewMechanism(plan.Epsilon, plan.Sensitivity)
 	if err != nil {
-		return nil, err
+		return nil, outcomeError, indexed, err
 	}
 	e.releaseMu.Lock()
 	if e.accountant != nil {
 		if err := e.accountant.Spend(plan.EpsilonPrime * float64(len(queries))); err != nil {
 			e.releaseMu.Unlock()
-			return nil, err
+			return nil, outcomeError, indexed, err
 		}
 	}
 	batchKey := e.rng.Int63()
 	e.releaseMu.Unlock()
 	raws := make([]float64, len(queries))
 	if err := rankEstimateBatch(snap, queries, raws); err != nil {
-		return nil, err
+		return nil, outcomeError, indexed, err
 	}
+	tr.Mark("estimate")
 	// Perturbation is cheap relative to estimation, so it stays on the
 	// calling goroutine: one backing array for all answers, one scratch
 	// RNG reseeded to stream (batchKey, i) per query.
 	answers := make([]Answer, len(queries))
-	out := make([]*Answer, len(queries))
+	out = make([]*Answer, len(queries))
 	noise := stats.NewStream(batchKey, 0)
 	for i := range queries {
 		noise.Reseed(batchKey, int64(i))
@@ -82,5 +100,9 @@ func (e *Engine) AnswerBatch(queries []estimator.Query, acc estimator.Accuracy) 
 		}
 		out[i] = &answers[i]
 	}
-	return out, nil
+	tr.Mark("perturb")
+	if snap.coverage < 1 {
+		return out, outcomeDegraded, indexed, nil
+	}
+	return out, outcomeOK, indexed, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"privrange/internal/dp"
 	"privrange/internal/estimator"
@@ -30,6 +31,7 @@ import (
 	"privrange/internal/optimize"
 	"privrange/internal/sampling"
 	"privrange/internal/stats"
+	"privrange/internal/telemetry"
 )
 
 // Source is the engine's view of a sampled IoT deployment.
@@ -114,6 +116,20 @@ type Engine struct {
 	margin     float64
 	policy     DegradationPolicy
 	cache      *answerCache
+	// tele holds the optional query-engine metrics. It is an atomic
+	// pointer so telemetry can be attached after construction (the ops
+	// endpoint is opt-in and may be enabled late) without racing the
+	// lock-free query paths; nil means record nothing.
+	tele atomic.Pointer[Metrics]
+}
+
+// SetTelemetry attaches engine metrics (nil detaches). Safe to call
+// concurrently with queries.
+func (e *Engine) SetTelemetry(m *Metrics) { e.tele.Store(m) }
+
+// WithTelemetry attaches engine metrics at construction.
+func WithTelemetry(m *Metrics) Option {
+	return func(e *Engine) { e.tele.Store(m) }
 }
 
 // Option configures an Engine.
@@ -224,30 +240,49 @@ func (a *Answer) Clamped() float64 {
 
 // Answer serves one (α, δ)-range-counting request (Definition 2.2).
 func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, error) {
+	m := e.tele.Load()
+	var tr telemetry.Trace
+	m.begin(&tr, "core.answer")
+	ans, outcome, err := e.answer(q, acc, m, &tr)
+	m.finishQuery(&tr, outcome)
+	return ans, err
+}
+
+// answer is the pipeline behind Answer. The trace is a stack-held
+// value owned by the wrapper; Mark and the metrics helpers are inert
+// nil/un-begun no-ops, so the uninstrumented path pays only branches.
+func (e *Engine) answer(q estimator.Query, acc estimator.Accuracy, m *Metrics, tr *telemetry.Trace) (*Answer, string, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, outcomeInvalid, err
 	}
 	snap := e.readSnapshot()
-	if cached, ok := e.cache.lookup(q, acc, snap); ok {
-		return cached, nil
+	tr.Mark("sample_lookup")
+	if e.cache != nil {
+		cached, ok := e.cache.lookup(q, acc, snap)
+		m.noteCacheLookup(ok)
+		if ok {
+			return cached, outcomeCacheHit, nil
+		}
 	}
 	plan, snap, err := e.planFor(acc, snap)
+	tr.Mark("optimize")
 	if err != nil {
-		return nil, err
+		return nil, outcomeError, err
 	}
 	raw, err := rankEstimate(snap, q)
+	tr.Mark("estimate")
 	if err != nil {
-		return nil, err
+		return nil, outcomeError, err
 	}
 	mech, err := dp.NewMechanism(plan.Epsilon, plan.Sensitivity)
 	if err != nil {
-		return nil, err
+		return nil, outcomeError, err
 	}
 	e.releaseMu.Lock()
 	defer e.releaseMu.Unlock()
 	if e.accountant != nil {
 		if err := e.accountant.Spend(plan.EpsilonPrime); err != nil {
-			return nil, err
+			return nil, outcomeError, err
 		}
 	}
 	ans := &Answer{
@@ -262,7 +297,11 @@ func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, err
 		CollectionVersion: snap.version,
 	}
 	e.cache.store(ans, snap)
-	return ans, nil
+	tr.Mark("perturb")
+	if snap.coverage < 1 {
+		return ans, outcomeDegraded, nil
+	}
+	return ans, outcomeOK, nil
 }
 
 // EstimateOnly returns the broker-internal (α′, δ′) sampling estimate

@@ -3,6 +3,8 @@ package dp
 import (
 	"fmt"
 	"sync"
+
+	"privrange/internal/telemetry"
 )
 
 // Accountant tracks cumulative privacy loss under sequential composition:
@@ -15,6 +17,14 @@ type Accountant struct {
 	spent float64
 	cap   float64 // 0 means unlimited
 	n     int
+
+	// Telemetry handles (all optional, nil-safe): per-query privacy
+	// loss is an operational signal, not just a proof artifact — ops
+	// watch ε-spend the way they watch memory. Only the aggregate spend
+	// crosses into telemetry, never anything query-derived.
+	mSpent     *telemetry.Gauge
+	mRemaining *telemetry.Gauge
+	mReleases  *telemetry.Counter
 }
 
 // NewAccountant returns an accountant that refuses to exceed the given
@@ -25,6 +35,29 @@ func NewAccountant(totalBudget float64) (*Accountant, error) {
 		return nil, fmt.Errorf("dp: negative total budget %v", totalBudget)
 	}
 	return &Accountant{cap: totalBudget}, nil
+}
+
+// Instrument attaches telemetry to the accountant: a gauge tracking
+// cumulative ε spent, a gauge tracking the remaining budget (left unset
+// while uncapped), and a counter of recorded releases. Any handle may
+// be nil. The gauges are primed immediately so a scrape between
+// Instrument and the first Spend sees the true state.
+func (a *Accountant) Instrument(spent, remaining *telemetry.Gauge, releases *telemetry.Counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mSpent = spent
+	a.mRemaining = remaining
+	a.mReleases = releases
+	a.publishLocked()
+}
+
+// publishLocked pushes the current state to the attached gauges.
+// Callers hold a.mu.
+func (a *Accountant) publishLocked() {
+	a.mSpent.Set(a.spent)
+	if a.cap > 0 {
+		a.mRemaining.Set(a.cap - a.spent)
+	}
 }
 
 // Spend records a query that consumed epsilon. It returns an error (and
@@ -40,6 +73,8 @@ func (a *Accountant) Spend(epsilon float64) error {
 	}
 	a.spent += epsilon
 	a.n++
+	a.mReleases.Inc()
+	a.publishLocked()
 	return nil
 }
 

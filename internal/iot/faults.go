@@ -120,10 +120,17 @@ func (nw *Network) noteFailureLocked(id int) {
 	st.trips++
 	st.reopenRound = nw.clock + backoffRounds(nw.cfg.BreakerBackoff, st.trips)
 	nw.down[id] = true
+	nw.metrics.noteBreaker(EventBreakerOpen, id, nw.clock)
 }
 
-// noteSuccessLocked clears the breaker after a successful exchange.
+// noteSuccessLocked clears the breaker after a successful exchange. A
+// node that had tripped (and was on probation) closes its breaker for
+// good; the transition is logged so operators can correlate recovery
+// with the open that preceded it.
 func (nw *Network) noteSuccessLocked(id int) {
+	if st := nw.breaker[id]; st != nil && st.trips > 0 {
+		nw.metrics.noteBreaker(EventBreakerClose, id, nw.clock)
+	}
 	delete(nw.breaker, id)
 }
 
@@ -140,6 +147,7 @@ func (nw *Network) reinstateLocked() {
 		st.fails = nw.cfg.FailureThreshold - 1
 		delete(nw.down, id)
 		nw.dirty[id] = true
+		nw.metrics.noteBreaker(EventBreakerHalfOpen, id, nw.clock)
 	}
 }
 

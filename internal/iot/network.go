@@ -121,6 +121,31 @@ type Network struct {
 	// HeartbeatRound); crash windows and breaker backoffs are scheduled
 	// against it.
 	clock uint64
+	// metrics mirrors the cost report, round outcomes and breaker
+	// transitions into telemetry. Nil (recording nothing) until
+	// SetTelemetry attaches it.
+	metrics *Metrics
+}
+
+// SetTelemetry attaches collection-layer metrics to the network. Pass
+// nil to detach. Safe to call while rounds are running.
+func (nw *Network) SetTelemetry(m *Metrics) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.metrics = m
+}
+
+// downCountLocked counts nodes the base station cannot refresh right
+// now (manual downs, breaker exiles, scheduled crashes). Callers hold
+// nw.mu (read or write).
+func (nw *Network) downCountLocked() int {
+	down := 0
+	for _, node := range nw.nodes {
+		if nw.unreachableLocked(node.ID()) {
+			down++
+		}
+	}
+	return down
 }
 
 // New builds a network whose node i holds parts[i]. It returns an error
@@ -292,7 +317,11 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 	// enforces this ordering.
 	defer func() {
 		if !free {
-			nw.cost.Bytes += int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
+			billed := int64(len(data)) * int64(nw.hops(id)) * int64(attempts)
+			nw.cost.Bytes += billed
+			nw.metrics.noteAttempts(billed, attempts-1)
+		} else {
+			nw.metrics.noteAttempts(0, attempts-1)
 		}
 		nw.cost.Retransmissions += attempts - 1
 	}()
@@ -316,11 +345,13 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 			decoded, consumed, derr := wire.Decode(payload)
 			if derr != nil {
 				nw.cost.CorruptedMessages++
+				nw.metrics.noteCorruption()
 				lastErr = fmt.Errorf("iot: transport corruption to/from node %d: %w", id, derr)
 				continue
 			}
 			if consumed != len(payload) {
 				nw.cost.CorruptedMessages++
+				nw.metrics.noteCorruption()
 				lastErr = fmt.Errorf("iot: trailing bytes after decode (%d of %d) to/from node %d", consumed, len(payload), id)
 				continue
 			}
@@ -329,15 +360,19 @@ func (nw *Network) transmit(id int, m wire.Message) (wire.Message, error) {
 		}
 	}
 	if delivered == nil {
+		nw.metrics.noteGiveUp()
 		return nil, lastErr
 	}
 	nw.cost.Messages++
+	samples := 0
 	if isReport {
-		nw.cost.SamplesShipped += len(rep.Samples)
+		samples = len(rep.Samples)
+		nw.cost.SamplesShipped += samples
 		if free {
 			nw.cost.PiggybackedReports++
 		}
 	}
+	nw.metrics.noteDelivery(samples)
 	return delivered, nil
 }
 
@@ -406,6 +441,7 @@ func (nw *Network) collect(p float64) (*CollectionReport, error) {
 	rep.Achieved = nw.rate()
 	rep.Coverage = nw.coverageLocked()
 	rep.Version = nw.base.Version()
+	nw.metrics.noteCollection(rep, nw.downCountLocked())
 	return rep, rep.Err()
 }
 
@@ -597,6 +633,7 @@ func (nw *Network) HeartbeatRound() (*HeartbeatReport, error) {
 	// Heartbeat piggybacks can rewrite stored samples; refresh the
 	// columnar index before queries resume (best-effort, like collect).
 	_ = nw.base.RebuildIndex()
+	nw.metrics.noteHeartbeat(rep, nw.coverageLocked(), nw.downCountLocked())
 	return rep, rep.Err()
 }
 

@@ -17,6 +17,7 @@ func TestBudgetFloat(t *testing.T)     { analysistest.Run(t, lint.BudgetFloat, "
 func TestBaseLock(t *testing.T)        { analysistest.Run(t, lint.BaseLock, "baselock") }
 func TestErrWrap(t *testing.T)         { analysistest.Run(t, lint.ErrWrap, "errwrap") }
 func TestBilling(t *testing.T)         { analysistest.Run(t, lint.Billing, "billing") }
+func TestTelemetryTaint(t *testing.T)  { analysistest.Run(t, lint.TelemetryTaint, "telemetrytaint") }
 
 // TestSuiteCleanOnModule pins the invariant catalog to the tree: the
 // full suite must report nothing on the module itself.

@@ -103,5 +103,6 @@ func All() []*Analyzer {
 		ErrWrap,
 		NoiseSource,
 		PrivacyBoundary,
+		TelemetryTaint,
 	}
 }

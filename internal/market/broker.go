@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"privrange/internal/core"
 	"privrange/internal/estimator"
 	"privrange/internal/pricing"
+	"privrange/internal/telemetry"
 )
 
 // Broker sells private range-counting answers over one or more registered
@@ -23,7 +25,19 @@ type Broker struct {
 	wallets *Wallets
 	// customerCap bounds Σε′ per (customer, dataset); 0 means uncapped.
 	customerCap float64
+	// tele holds the optional marketplace metrics (atomic so the ops
+	// endpoint can attach them after the broker opened shop without
+	// racing in-flight sales); nil means record nothing.
+	tele atomic.Pointer[Metrics]
 }
+
+// SetTelemetry attaches marketplace metrics (nil detaches). Safe to
+// call concurrently with sales.
+func (b *Broker) SetTelemetry(m *Metrics) { b.tele.Store(m) }
+
+// Telemetry returns the attached metrics (nil when detached); the
+// transport server shares them for connection accounting.
+func (b *Broker) Telemetry() *Metrics { return b.tele.Load() }
 
 func (b *Broker) walletStore() *Wallets {
 	b.mu.Lock()
@@ -144,30 +158,45 @@ func (b *Broker) Quote(dataset string, acc estimator.Accuracy) (price, variance 
 // the receipt. The returned response carries the private value, the
 // price paid and the effective privacy budget consumed.
 func (b *Broker) Buy(req Request) (*Response, error) {
+	m := b.tele.Load()
+	var tr telemetry.Trace
+	m.begin(&tr, "market.buy")
+	resp, price, err := b.buy(req, &tr)
+	m.finishBuy(&tr, err == nil, price)
+	return resp, err
+}
+
+// buy is the sale pipeline behind Buy; the wrapper owns the stack-held
+// trace and closes it with the sale outcome. The returned price is the
+// tariff output actually charged (zero on rejection before pricing).
+func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, error) {
 	req.Op = "buy"
 	if err := req.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ds, err := b.dataset(req.Dataset)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	price, variance, err := b.Quote(req.Dataset, req.Accuracy())
+	tr.Mark("price")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	wallets := b.walletStore()
 	if wallets != nil {
 		if err := wallets.debit(req.Customer, price); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
+	tr.Mark("debit")
 	ans, err := ds.engine.Answer(req.Query(), req.Accuracy())
+	tr.Mark("answer")
 	if err != nil {
 		if wallets != nil {
 			wallets.refund(req.Customer, price)
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	// Per-customer privacy cap: the computed answer is withheld (not
 	// released) when this sale would push the customer's cumulative Σε′
@@ -180,7 +209,7 @@ func (b *Broker) Buy(req Request) (*Response, error) {
 			if wallets != nil {
 				wallets.refund(req.Customer, price)
 			}
-			return nil, fmt.Errorf("market: customer %q would exceed the per-customer privacy cap on %q (%.4f + %.4f > %.4f)",
+			return nil, 0, fmt.Errorf("market: customer %q would exceed the per-customer privacy cap on %q (%.4f + %.4f > %.4f)",
 				req.Customer, req.Dataset, spent, ans.Plan.EpsilonPrime, cap)
 		}
 	}
@@ -196,6 +225,7 @@ func (b *Broker) Buy(req Request) (*Response, error) {
 		EpsilonPrime: ans.Plan.EpsilonPrime,
 		Coverage:     ans.Coverage,
 	})
+	tr.Mark("record")
 	return &Response{
 		OK:                true,
 		Price:             price,
@@ -207,7 +237,7 @@ func (b *Broker) Buy(req Request) (*Response, error) {
 		Rate:              ans.Rate,
 		Coverage:          ans.Coverage,
 		CollectionVersion: ans.CollectionVersion,
-	}, nil
+	}, price, nil
 }
 
 // Ledger exposes the purchase ledger.
@@ -220,9 +250,12 @@ func (b *Broker) Tariff() pricing.Function { return b.tariff }
 // never returns an error: failures become Response.Error so they travel
 // back to the remote client.
 func (b *Broker) Handle(req Request) *Response {
+	m := b.tele.Load()
 	if err := req.Validate(); err != nil {
+		m.noteRequest(req.Op, false)
 		return &Response{Error: err.Error()}
 	}
+	m.noteRequest(req.Op, true)
 	switch req.Op {
 	case "catalog":
 		return &Response{OK: true, Datasets: b.Catalog()}

@@ -1,0 +1,177 @@
+package market
+
+import (
+	"privrange/internal/telemetry"
+)
+
+// Metrics is the marketplace's telemetry: protocol request counters by
+// operation, sale outcomes and revenue, transport connection health
+// (accept/decode failures included — previously dropped silently) and
+// a ring of purchase traces. Only commerce-level aggregates cross into
+// telemetry: prices, variances and counts are tariff outputs or public
+// metadata, never the private values being sold. A nil *Metrics
+// records nothing.
+type Metrics struct {
+	reqCatalog *telemetry.Counter
+	reqQuote   *telemetry.Counter
+	reqBuy     *telemetry.Counter
+	reqDeposit *telemetry.Counter
+	reqBalance *telemetry.Counter
+	reqAudit   *telemetry.Counter
+	reqUnknown *telemetry.Counter
+	reqInvalid *telemetry.Counter
+
+	purchases  *telemetry.Counter
+	rejections *telemetry.Counter
+	revenue    *telemetry.Gauge
+
+	connsAccepted  *telemetry.Counter
+	connsActive    *telemetry.Gauge
+	acceptFailures *telemetry.Counter
+	decodeFailures *telemetry.Counter
+	bytesRead      *telemetry.Counter
+	bytesWritten   *telemetry.Counter
+
+	buyLatency *telemetry.Histogram
+	tracer     *telemetry.Tracer
+}
+
+// NewMetrics registers the marketplace's metric catalog on r.
+func NewMetrics(r *telemetry.Registry, labels ...telemetry.Label) *Metrics {
+	op := func(tag string) []telemetry.Label {
+		return append([]telemetry.Label{telemetry.L("op", tag)}, labels...)
+	}
+	const rHelp = "protocol requests handled, by operation"
+	return &Metrics{
+		reqCatalog: r.Counter("privrange_market_requests_total", rHelp, op("catalog")...),
+		reqQuote:   r.Counter("privrange_market_requests_total", rHelp, op("quote")...),
+		reqBuy:     r.Counter("privrange_market_requests_total", rHelp, op("buy")...),
+		reqDeposit: r.Counter("privrange_market_requests_total", rHelp, op("deposit")...),
+		reqBalance: r.Counter("privrange_market_requests_total", rHelp, op("balance")...),
+		reqAudit:   r.Counter("privrange_market_requests_total", rHelp, op("audit")...),
+		reqUnknown: r.Counter("privrange_market_requests_total", rHelp, op("unknown")...),
+		reqInvalid: r.Counter("privrange_market_requests_total", rHelp, op("invalid")...),
+
+		purchases:  r.Counter("privrange_market_purchases_total", "answers sold and recorded in the ledger", labels...),
+		rejections: r.Counter("privrange_market_rejections_total", "buy requests refused (validation, funds, caps, engine failure)", labels...),
+		revenue:    r.Gauge("privrange_market_revenue", "cumulative revenue from completed sales", labels...),
+
+		connsAccepted:  r.Counter("privrange_market_connections_total", "TCP connections accepted", labels...),
+		connsActive:    r.Gauge("privrange_market_connections_active", "TCP connections currently served", labels...),
+		acceptFailures: r.Counter("privrange_market_accept_failures_total", "listener Accept errors (listener still serving)", labels...),
+		decodeFailures: r.Counter("privrange_market_decode_failures_total", "malformed protocol frames (connection still serving)", labels...),
+		bytesRead:      r.Counter("privrange_market_bytes_read_total", "protocol bytes received", labels...),
+		bytesWritten:   r.Counter("privrange_market_bytes_written_total", "protocol bytes sent", labels...),
+
+		buyLatency: r.Histogram("privrange_market_buy_seconds", "end-to-end Buy latency (quote, debit, answer, record)", telemetry.LatencyBuckets, labels...),
+		tracer:     r.Tracer(),
+	}
+}
+
+// noteRequest counts one dispatched protocol request. The op string is
+// one of the protocol's fixed operation names (already validated or
+// about to be rejected), so the label set stays bounded.
+func (m *Metrics) noteRequest(op string, valid bool) {
+	if m == nil {
+		return
+	}
+	if !valid {
+		m.reqInvalid.Inc()
+		return
+	}
+	switch op {
+	case "catalog":
+		m.reqCatalog.Inc()
+	case "quote":
+		m.reqQuote.Inc()
+	case "buy":
+		m.reqBuy.Inc()
+	case "deposit":
+		m.reqDeposit.Inc()
+	case "balance":
+		m.reqBalance.Inc()
+	case "audit":
+		m.reqAudit.Inc()
+	default:
+		m.reqUnknown.Inc()
+	}
+}
+
+// begin starts a purchase trace when metrics are attached (see
+// core.Metrics.begin for the inert-trace contract).
+func (m *Metrics) begin(tr *telemetry.Trace, op string) {
+	if m == nil {
+		return
+	}
+	tr.Begin(op)
+}
+
+// finishBuy closes one Buy trace and records the sale outcome. price
+// is the tariff output for a completed sale (ignored on rejection).
+func (m *Metrics) finishBuy(tr *telemetry.Trace, sold bool, price float64) {
+	if m == nil {
+		return
+	}
+	if sold {
+		tr.End("ok")
+		m.purchases.Inc()
+		m.revenue.Add(price)
+	} else {
+		tr.End("rejected")
+		m.rejections.Inc()
+	}
+	m.buyLatency.Observe(tr.Total.Seconds())
+	m.tracer.Record(tr)
+}
+
+// noteConnOpen / noteConnClose track the live connection gauge.
+func (m *Metrics) noteConnOpen() {
+	if m == nil {
+		return
+	}
+	m.connsAccepted.Inc()
+	m.connsActive.Add(1)
+}
+
+func (m *Metrics) noteConnClose() {
+	if m == nil {
+		return
+	}
+	m.connsActive.Add(-1)
+}
+
+func (m *Metrics) noteAcceptFailure() {
+	if m == nil {
+		return
+	}
+	m.acceptFailures.Inc()
+}
+
+func (m *Metrics) noteDecodeFailure() {
+	if m == nil {
+		return
+	}
+	m.decodeFailures.Inc()
+}
+
+func (m *Metrics) noteRead(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.bytesRead.Add(uint64(n))
+}
+
+// countWriter mirrors written byte counts into the metrics on the way
+// to the underlying connection.
+type countWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	m *Metrics
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if c.m != nil && n > 0 {
+		c.m.bytesWritten.Add(uint64(n))
+	}
+	return n, err
+}

@@ -17,6 +17,10 @@ type Server struct {
 	broker   *Broker
 	listener net.Listener
 	idle     time.Duration
+	// metrics counts connections, bytes and transport failures. Defaults
+	// to the broker's attached metrics; WithTelemetry overrides. Nil
+	// records nothing.
+	metrics *Metrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -44,6 +48,13 @@ func WithIdleTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.idle = d }
 }
 
+// WithTelemetry attaches transport metrics to the server (connection
+// gauge, accept/decode failure counters, byte counters). When omitted
+// the server shares whatever metrics the broker carries.
+func WithTelemetry(m *Metrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
+}
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and begins accepting
 // connections in the background. Close shuts it down.
 func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
@@ -58,6 +69,7 @@ func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
 		broker:   broker,
 		listener: ln,
 		idle:     defaultIdleTimeout,
+		metrics:  broker.Telemetry(),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	for _, opt := range opts {
@@ -76,15 +88,24 @@ func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed: clean shutdown
+			}
+			// Transient accept failure (e.g. EMFILE, aborted handshake):
+			// count it and keep serving instead of silently killing the
+			// listener for every remaining client.
+			s.metrics.noteAcceptFailure()
+			continue
 		}
 		if !s.track(conn) {
 			_ = conn.Close()
 			return
 		}
+		s.metrics.noteConnOpen()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.metrics.noteConnClose()
 			defer s.untrack(conn)
 			s.serveConn(conn)
 		}()
@@ -120,7 +141,7 @@ func (s *Server) extendDeadline(conn net.Conn) error {
 func (s *Server) serveConn(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 4096), maxLineBytes)
-	writer := bufio.NewWriter(conn)
+	writer := bufio.NewWriter(&countWriter{w: conn, m: s.metrics})
 	enc := json.NewEncoder(writer)
 	// The deadline is re-armed before every exchange, so an active client
 	// can hold the connection indefinitely while a silent one (or one not
@@ -130,12 +151,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	for scanner.Scan() {
 		line := scanner.Bytes()
+		s.metrics.noteRead(len(line) + 1)
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
 		var resp *Response
 		if err := json.Unmarshal(line, &req); err != nil {
+			// A malformed frame is the client's problem, not the
+			// connection's: count it and answer with a protocol error.
+			s.metrics.noteDecodeFailure()
 			resp = &Response{Error: fmt.Sprintf("market: malformed request: %v", err)}
 		} else {
 			resp = s.broker.Handle(req)
@@ -172,25 +197,47 @@ func (s *Server) Close() error {
 
 // Client is a TCP consumer of a market Server.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	reader *bufio.Reader
+	mu      sync.Mutex
+	conn    net.Conn
+	reader  *bufio.Reader
+	timeout time.Duration
+}
+
+// DialOption configures Dial.
+type DialOption func(*Client)
+
+// WithRequestTimeout bounds each Do exchange (send + receive) and the
+// initial TCP connect. It mirrors the server's idle deadline: without
+// it a stalled or dead server pins the caller forever. Zero or negative
+// disables the deadline — callers own that risk. The default matches
+// the server's defaultIdleTimeout.
+func WithRequestTimeout(d time.Duration) DialOption {
+	return func(c *Client) { c.timeout = d }
 }
 
 // Dial connects to a market server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	c := &Client{timeout: defaultIdleTimeout}
+	for _, opt := range opts {
+		opt(c)
+	}
+	dialTimeout := c.timeout
+	if dialTimeout <= 0 {
+		dialTimeout = 0 // no timeout: net.DialTimeout treats 0 as none
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("market: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn:   conn,
-		reader: bufio.NewReader(conn),
-	}, nil
+	c.conn = conn
+	c.reader = bufio.NewReader(conn)
+	return c, nil
 }
 
 // Do performs one request/response exchange. It is safe for concurrent
-// use (exchanges serialize on the single connection).
+// use (exchanges serialize on the single connection). The configured
+// request timeout covers the whole exchange: a server that accepts the
+// request but never answers yields a deadline error instead of a hang.
 func (c *Client) Do(req Request) (*Response, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
@@ -200,6 +247,11 @@ func (c *Client) Do(req Request) (*Response, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("market: arm deadline: %w", err)
+		}
+	}
 	if _, err := c.conn.Write(payload); err != nil {
 		return nil, fmt.Errorf("market: send: %w", err)
 	}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestOpsEndpointRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "a demo counter").Add(3)
+	r.Histogram("demo_seconds", "a demo histogram", []float64{1}).Observe(0.2)
+	r.Events().Append("breaker_open", 1, 2, "")
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"# TYPE demo_total counter", "demo_total 3", `demo_seconds_bucket{le="+Inf"} 1`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot status %d", code)
+	}
+	for _, want := range []string{`"demo_total"`, `"breaker_open"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/snapshot missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+
+	code, body = get("/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index status %d body %q", code, body)
+	}
+
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// MaxSpans bounds the phases one trace can carry. The query pipeline
+// has five named phases (sample-lookup, optimize, estimate, perturb,
+// price); the headroom absorbs future stages without reallocating —
+// a Trace is a fixed-size value so hot paths can keep it on the stack.
+const MaxSpans = 8
+
+// DefaultTraceCapacity is the default tracer ring size.
+const DefaultTraceCapacity = 256
+
+// Span is one timed phase inside a trace. Name must be a constant (the
+// telemetrytaint analyzer forbids data-derived strings here).
+type Span struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace is one query's record: an operation name, an ordered list of
+// phase spans, a total duration and an outcome tag. It is designed to
+// live on the caller's stack: Begin/Mark/End mutate it in place with no
+// allocation, and Record copies it into the tracer's ring. All methods
+// are nil-safe and inert before Begin, so instrumented code paths need
+// no conditionals around tracing calls.
+type Trace struct {
+	// ID is assigned by Tracer.Record (0 until recorded).
+	ID uint64
+	// Op names the operation, e.g. "core.answer".
+	Op string
+	// Outcome tags how the operation ended, e.g. "ok", "error",
+	// "cache_hit", "degraded".
+	Outcome string
+	// Start is when Begin was called; Total is Start→End.
+	Start time.Time
+	Total time.Duration
+	// Spans[:NumSpans] are the recorded phases in order.
+	Spans    [MaxSpans]Span
+	NumSpans int
+
+	on   bool
+	last time.Time
+}
+
+// Begin starts the trace clock.
+func (t *Trace) Begin(op string) {
+	if t == nil {
+		return
+	}
+	t.Op = op
+	t.Start = time.Now()
+	t.last = t.Start
+	t.on = true
+}
+
+// Mark closes the current phase: it records a span named name covering
+// the time since the previous Mark (or Begin) and restarts the phase
+// clock. Extra marks beyond MaxSpans fold into the last span's
+// duration so the total stays honest.
+func (t *Trace) Mark(name string) {
+	if t == nil || !t.on {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(t.last)
+	t.last = now
+	if t.NumSpans < MaxSpans {
+		t.Spans[t.NumSpans] = Span{Name: name, Duration: d}
+		t.NumSpans++
+		return
+	}
+	t.Spans[MaxSpans-1].Duration += d
+}
+
+// End stops the clock and tags the outcome.
+func (t *Trace) End(outcome string) {
+	if t == nil || !t.on {
+		return
+	}
+	t.Outcome = outcome
+	t.Total = time.Since(t.Start)
+}
+
+// Active reports whether Begin has been called.
+func (t *Trace) Active() bool { return t != nil && t.on }
+
+// Tracer keeps the most recent traces in a fixed ring. Record copies
+// the caller's stack-held Trace under a short mutex — no allocation,
+// no retained pointers.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Trace
+	next uint64 // total traces ever recorded
+}
+
+// NewTracer returns a tracer retaining the last capacity traces
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Trace, capacity)}
+}
+
+// Record copies tr into the ring and assigns its ID. Nil-safe on both
+// sides; traces that never Began are dropped.
+func (t *Tracer) Record(tr *Trace) {
+	if t == nil || tr == nil || !tr.on {
+		return
+	}
+	t.mu.Lock()
+	t.next++
+	tr.ID = t.next
+	t.ring[int((t.next-1)%uint64(len(t.ring)))] = *tr
+	t.mu.Unlock()
+}
+
+// Capacity returns how many traces the ring retains.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Total returns how many traces were ever recorded (including those
+// already evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Recent returns up to n retained traces, oldest first. It copies, so
+// the result is safe to hold.
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.next
+	if have > uint64(len(t.ring)) {
+		have = uint64(len(t.ring))
+	}
+	if uint64(n) > have {
+		n = int(have)
+	}
+	out := make([]Trace, 0, n)
+	for i := t.next - uint64(n); i < t.next; i++ {
+		out = append(out, t.ring[int(i%uint64(len(t.ring)))])
+	}
+	return out
+}

@@ -3,12 +3,14 @@ package privrange
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"privrange/internal/core"
 	"privrange/internal/dp"
 	"privrange/internal/iot"
 	"privrange/internal/market"
 	"privrange/internal/pricing"
+	"privrange/internal/telemetry"
 )
 
 // Tariff selects one of the library's arbitrage-avoiding pricing
@@ -64,6 +66,21 @@ type PurchaseResult struct {
 type Marketplace struct {
 	broker  *market.Broker
 	wallets *market.Wallets
+
+	// teleMu guards the registry and the dataset handle map used to
+	// attach telemetry to datasets added before or after
+	// EnableTelemetry.
+	teleMu   sync.Mutex
+	registry *telemetry.Registry
+	handles  map[string]datasetHandles
+}
+
+// datasetHandles keeps the per-dataset components the facade built in
+// AddDataset so late telemetry enablement can instrument them.
+type datasetHandles struct {
+	engine     *core.Engine
+	network    *iot.Network
+	accountant *dp.Accountant
 }
 
 // NewMarketplace opens a broker with the given tariff. The tariff is
@@ -77,8 +94,73 @@ func NewMarketplace(t Tariff) (*Marketplace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Marketplace{broker: broker}, nil
+	return &Marketplace{broker: broker, handles: make(map[string]datasetHandles)}, nil
 }
+
+// EnableTelemetry turns on the marketplace's metrics registry and
+// instruments every layer: the broker (sales, protocol, transport),
+// each dataset's query engine (latency, outcomes, traces), its IoT
+// network (rounds, coverage, cost, breaker events) and its privacy
+// accountant (ε spend). Datasets added later are instrumented on
+// registration. Idempotent; ServeOps calls it implicitly. Everything
+// exported lives outside the privacy boundary — released aggregates
+// and operational counts only (see DESIGN.md §10).
+func (m *Marketplace) EnableTelemetry() {
+	m.enableTelemetry()
+}
+
+func (m *Marketplace) enableTelemetry() *telemetry.Registry {
+	m.teleMu.Lock()
+	defer m.teleMu.Unlock()
+	if m.registry != nil {
+		return m.registry
+	}
+	m.registry = telemetry.NewRegistry()
+	m.broker.SetTelemetry(market.NewMetrics(m.registry))
+	for name, h := range m.handles {
+		m.instrumentLocked(name, h)
+	}
+	return m.registry
+}
+
+// instrumentLocked attaches one dataset's components to the registry.
+// The dataset name is catalog metadata (public by construction), so it
+// is a safe label value. Callers hold teleMu with registry non-nil.
+func (m *Marketplace) instrumentLocked(name string, h datasetHandles) {
+	label := telemetry.L("dataset", name)
+	h.engine.SetTelemetry(core.NewMetrics(m.registry, label))
+	h.network.SetTelemetry(iot.NewMetrics(m.registry, label))
+	h.accountant.Instrument(
+		m.registry.Gauge("privrange_dp_epsilon_spent", "cumulative effective privacy budget released", label),
+		m.registry.Gauge("privrange_dp_epsilon_remaining", "budget left before the dataset cap (absent while uncapped)", label),
+		m.registry.Counter("privrange_dp_releases_total", "answers charged to the accountant", label),
+	)
+}
+
+// OpsServer is a running operational HTTP endpoint: Prometheus metrics
+// at /metrics, a JSON state snapshot at /snapshot and pprof under
+// /debug/pprof/. It is separate from the trading TCP endpoint — bind
+// it to an operator-only address.
+type OpsServer struct {
+	srv *telemetry.OpsServer
+}
+
+// ServeOps starts the operational endpoint on addr (use "127.0.0.1:0"
+// for an ephemeral port), enabling telemetry first if needed.
+func (m *Marketplace) ServeOps(addr string) (*OpsServer, error) {
+	reg := m.enableTelemetry()
+	srv, err := telemetry.Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &OpsServer{srv: srv}, nil
+}
+
+// Addr returns the ops endpoint's bound address.
+func (s *OpsServer) Addr() string { return s.srv.Addr() }
+
+// Close shuts the ops endpoint down.
+func (s *OpsServer) Close() error { return s.srv.Close() }
 
 // AddDataset registers readings for sale under the given name, spread
 // across a simulated IoT deployment per opt.
@@ -118,7 +200,17 @@ func (m *Marketplace) AddDataset(name string, values []float64, opt Options) err
 	if err != nil {
 		return err
 	}
-	return m.broker.Register(name, engine, len(values), nodes)
+	if err := m.broker.Register(name, engine, len(values), nodes); err != nil {
+		return err
+	}
+	m.teleMu.Lock()
+	defer m.teleMu.Unlock()
+	h := datasetHandles{engine: engine, network: network, accountant: accountant}
+	m.handles[name] = h
+	if m.registry != nil {
+		m.instrumentLocked(name, h)
+	}
+	return nil
 }
 
 // Quote prices one answer at the given accuracy on a dataset.

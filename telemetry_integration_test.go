@@ -1,0 +1,161 @@
+package privrange_test
+
+// End-to-end observability scenario: a marketplace with telemetry
+// enabled sells answers over TCP while the operational HTTP endpoint
+// is scraped like a real monitoring stack would — Prometheus text for
+// the query latency histogram, ε-spend gauges and collection coverage,
+// and the JSON snapshot for purchase traces. Run under -race in CI.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"privrange"
+	"privrange/internal/dataset"
+	"privrange/internal/market"
+)
+
+func TestTelemetryOpsEndpointEndToEnd(t *testing.T) {
+	t.Parallel()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 11, Records: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := privrange.NewMarketplace(privrange.Tariff{Base: 1, C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ops endpoint first: the dataset registered afterwards must be
+	// instrumented on registration.
+	ops, err := mp.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+	if err := mp.AddDataset("ozone", series.Values, privrange.Options{Nodes: 8, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := mp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := market.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const buys = 3
+	for i := 0; i < buys; i++ {
+		req := market.Request{Dataset: "ozone", Customer: "carol", L: 30, U: 80 + float64(i), Alpha: 0.1, Delta: 0.6}
+		if _, err := client.Buy(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + ops.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := scrape("/metrics")
+
+	// The query latency histogram saw every purchase.
+	count := promValue(t, metrics, `privrange_core_query_seconds_count{dataset="ozone"}`)
+	if count != buys {
+		t.Fatalf("latency histogram count = %v, want %d\n%s", count, buys, metrics)
+	}
+	if !strings.Contains(metrics, `privrange_core_query_seconds_bucket{dataset="ozone",le="+Inf"}`) {
+		t.Fatalf("latency histogram has no buckets:\n%s", metrics)
+	}
+
+	// ε-spend matches the ledger exactly.
+	spent := promValue(t, metrics, `privrange_dp_epsilon_spent{dataset="ozone"}`)
+	if want := mp.PrivacySpent("ozone"); spent <= 0 || absDiff(spent, want) > 1e-9 {
+		t.Fatalf("epsilon spent gauge = %v, ledger says %v", spent, want)
+	}
+
+	// The collection layer published its coverage (fully reachable here).
+	if cov := promValue(t, metrics, `privrange_iot_coverage{dataset="ozone"}`); cov != 1 {
+		t.Fatalf("coverage = %v, want 1", cov)
+	}
+
+	// The market layer counted the sales and the transport connection.
+	if sold := promValue(t, metrics, `privrange_market_purchases_total`); sold != buys {
+		t.Fatalf("purchases = %v, want %d", sold, buys)
+	}
+	if active := promValue(t, metrics, `privrange_market_connections_active`); active != 1 {
+		t.Fatalf("active connections = %v, want 1", active)
+	}
+
+	// The JSON snapshot carries purchase traces with the pipeline's
+	// phase spans.
+	var snap struct {
+		Traces []struct {
+			Op    string `json:"op"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(scrape("/snapshot")), &snap); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ops_, phases := map[string]bool{}, map[string]bool{}
+	for _, tr := range snap.Traces {
+		ops_[tr.Op] = true
+		for _, sp := range tr.Spans {
+			phases[sp.Name] = true
+		}
+	}
+	if !ops_["market.buy"] || !ops_["core.answer"] {
+		t.Fatalf("snapshot traces missing pipeline ops: %v", ops_)
+	}
+	for _, want := range []string{"price", "answer", "sample_lookup", "optimize", "estimate", "perturb"} {
+		if !phases[want] {
+			t.Fatalf("snapshot traces missing phase %q: %v", want, phases)
+		}
+	}
+}
+
+// promValue extracts one sample's value from Prometheus text
+// exposition by its exact series name (including the label set).
+func promValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(exposition)
+	if m == nil {
+		t.Fatalf("series %q not found in exposition:\n%s", series, exposition)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("series %q value %q: %v", series, m[1], err)
+	}
+	return v
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
