@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: all check build vet lint privlint staticcheck tools test race cover bench bench-smoke experiments examples fuzz chaos clean
+.PHONY: all check build vet lint privlint staticcheck tools test race cover bench bench-smoke bench-shard experiments examples fuzz chaos shard clean
 
 all: build vet test
 
@@ -75,6 +75,16 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE ./internal/estimator ./internal/core ./internal/wire
 
+# bench-shard records 1-vs-S shard throughput (scatter-gather batch
+# release and collection rounds) in results/bench-shard.txt plus a
+# machine-readable results/bench-shard.json via cmd/benchjson. Answers
+# are bit-identical across the shard axis, so the series isolates
+# routing overhead vs parallel win.
+bench-shard:
+	@mkdir -p results
+	$(GO) test -bench='BenchmarkShard' -benchmem -run=NONE . | tee results/bench-shard.txt
+	$(GO) run ./cmd/benchjson -o results/bench-shard.json results/bench-shard.txt
+
 # Regenerate the paper's evaluation as tables (CSV copies in ./results).
 experiments:
 	$(GO) run ./cmd/experiments -all -o results
@@ -96,6 +106,14 @@ fuzz:
 # race detector. See DESIGN.md §7 for the failure model these exercise.
 chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/iot/ .
+
+# shard runs the sharded scale-out gate under the race detector: the
+# shard-count determinism suite (answers bit-identical to the
+# single-broker engine for any S), the degraded-shard chaos scenario,
+# and the shard/estimator unit suites the router stands on.
+shard:
+	$(GO) test -race -run 'TestShard|TestRing|TestCluster|TestScatter' . ./internal/shard/ ./internal/estimator/
+	$(GO) test -race -run 'TestBatchFailure|TestInvalidQueryMatrix|TestCacheReturnsCopies' ./internal/core/
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

@@ -65,6 +65,15 @@ func (e *Engine) answerBatch(queries []estimator.Query, acc estimator.Accuracy, 
 	if err != nil {
 		return nil, outcomeError, indexed, err
 	}
+	// Estimate first, commit second: the batch must not spend budget or
+	// advance the noise stream until it can no longer fail. Charging
+	// before estimation would burn m·ε′ (and a noise key) on a batch the
+	// caller never received — and shift every later answer's noise.
+	raws := make([]float64, len(queries))
+	if err := rankEstimateBatch(snap, queries, raws); err != nil {
+		return nil, outcomeError, indexed, err
+	}
+	tr.Mark("estimate")
 	e.releaseMu.Lock()
 	if e.accountant != nil {
 		if err := e.accountant.Spend(plan.EpsilonPrime * float64(len(queries))); err != nil {
@@ -74,11 +83,6 @@ func (e *Engine) answerBatch(queries []estimator.Query, acc estimator.Accuracy, 
 	}
 	batchKey := e.rng.Int63()
 	e.releaseMu.Unlock()
-	raws := make([]float64, len(queries))
-	if err := rankEstimateBatch(snap, queries, raws); err != nil {
-		return nil, outcomeError, indexed, err
-	}
-	tr.Mark("estimate")
 	// Perturbation is cheap relative to estimation, so it stays on the
 	// calling goroutine: one backing array for all answers, one scratch
 	// RNG reseeded to stream (batchKey, i) per query.

@@ -62,7 +62,14 @@ func (c *answerCache) lookup(q estimator.Query, acc estimator.Accuracy, snap sna
 		return nil, false
 	}
 	ans, ok := c.entries[answerKey{l: q.L, u: q.U, alpha: acc.Alpha, delta: acc.Delta}]
-	return ans, ok
+	if !ok {
+		return nil, false
+	}
+	// Hand the caller its own copy: the stored answer is the cache's
+	// record of what was released, and a caller mutating the returned
+	// struct must not rewrite history for later hits.
+	cp := *ans
+	return &cp, true
 }
 
 // store records a released answer, resetting the cache when the dataset
@@ -81,5 +88,8 @@ func (c *answerCache) store(ans *Answer, snap snapshot) {
 		c.coverage = snap.coverage
 	}
 	key := answerKey{l: ans.Query.L, u: ans.Query.U, alpha: ans.Accuracy.Alpha, delta: ans.Accuracy.Delta}
-	c.entries[key] = ans
+	// Store a private copy for the same reason lookup returns one: the
+	// caller keeps the pointer it was handed and may mutate it.
+	cp := *ans
+	c.entries[key] = &cp
 }

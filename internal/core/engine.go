@@ -309,6 +309,9 @@ func (e *Engine) answer(q estimator.Query, acc estimator.Accuracy, m *Metrics, t
 // separate sampling error from perturbation error (Figs 2–4). It does not
 // spend privacy budget because nothing is released.
 func (e *Engine) EstimateOnly(q estimator.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
 	snap := e.readSnapshot()
 	if snap.rate <= 0 {
 		return 0, fmt.Errorf("core: no samples collected yet")

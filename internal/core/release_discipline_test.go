@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+	"privrange/internal/index"
+	"privrange/internal/iot"
+	"privrange/internal/sampling"
+)
+
+// faultySource wraps a real network but lets a test sabotage the next
+// snapshot: when failNext is set, the served sample-set slice carries a
+// nil entry, which makes estimation (not planning) fail after the plan
+// has already been solved — exactly the window where the old batch path
+// had charged the budget and burned a noise key before knowing the
+// batch could not be released.
+type faultySource struct {
+	*iot.Network
+	failNext bool
+}
+
+func (f *faultySource) Snapshot() (sets []*sampling.SampleSet, idx *index.Index, rate float64, nodes, n int, version uint64, coverage float64) {
+	sets, idx, rate, nodes, n, version, coverage = f.Network.Snapshot()
+	if f.failNext {
+		f.failNext = false
+		broken := make([]*sampling.SampleSet, len(sets))
+		copy(broken, sets)
+		broken[len(broken)/2] = nil
+		// No index: force the per-set estimation path so the nil set is hit.
+		return broken, nil, rate, nodes, n, version, coverage
+	}
+	return sets, idx, rate, nodes, n, version, coverage
+}
+
+// TestBatchFailureSpendsNothing is the regression test for the batch
+// release-path bug: a batch whose estimation fails must spend zero
+// budget and leave the noise stream unadvanced, so the next released
+// answers are bit-identical to those of an engine that never saw the
+// failure.
+func TestBatchFailureSpendsNothing(t *testing.T) {
+	t.Parallel()
+	queries := []estimator.Query{{L: 40, U: 120}, {L: 0, U: 60}, {L: 90, U: 91}}
+	acc := estimator.Accuracy{Alpha: 0.05, Delta: 0.7}
+
+	build := func(seed int64) (*Engine, *faultySource, *dp.Accountant) {
+		nw, _ := buildNetwork(t, 10, 4000, seed)
+		src := &faultySource{Network: nw}
+		accountant, err := dp.NewAccountant(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(src, WithSeed(99), WithAccountant(accountant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, src, accountant
+	}
+
+	// Oracle: same deployment and seed, no injected failure.
+	oracle, _, oracleAcc := build(3)
+	oracleOut, err := oracle.AnswerBatch(queries, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, src, accountant := build(3)
+	// Warm the rate so the failing call reaches estimation with the same
+	// collection state the oracle's first batch established.
+	if _, err := eng.AnswerBatch(queries, acc); err != nil {
+		t.Fatal(err)
+	}
+	spentBefore := accountant.Spent()
+	queriesBefore := accountant.Queries()
+
+	src.failNext = true
+	if _, err := eng.AnswerBatch(queries, acc); err == nil {
+		t.Fatal("sabotaged batch did not fail")
+	}
+	if got := accountant.Spent(); got != spentBefore {
+		t.Errorf("failed batch moved spent budget: %v -> %v", spentBefore, got)
+	}
+	if got := accountant.Queries(); got != queriesBefore {
+		t.Errorf("failed batch moved release count: %d -> %d", queriesBefore, got)
+	}
+
+	// The noise stream must be unadvanced: the second successful batch
+	// must release exactly what the oracle's second batch releases.
+	oracleOut2, err := oracle.AnswerBatch(queries, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.AnswerBatch(queries, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Float64bits(got[i].Value) != math.Float64bits(oracleOut2[i].Value) {
+			t.Errorf("query %d: post-failure value %v != oracle %v (noise stream advanced on failure)",
+				i, got[i].Value, oracleOut2[i].Value)
+		}
+	}
+	if accountant.Spent() != oracleAcc.Spent() {
+		t.Errorf("spent budget %v != oracle %v", accountant.Spent(), oracleAcc.Spent())
+	}
+	_ = oracleOut
+}
+
+// TestInvalidQueryMatrix pins that all three entry points reject
+// malformed queries up front — before any planning, collection, budget
+// or RNG movement.
+func TestInvalidQueryMatrix(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 6, 2000, 8)
+	accountant, err := dp.NewAccountant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, WithSeed(5), WithAccountant(accountant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.7}
+	nan := math.NaN()
+	bad := []struct {
+		name string
+		q    estimator.Query
+	}{
+		{"NaN lower", estimator.Query{L: nan, U: 10}},
+		{"NaN upper", estimator.Query{L: 0, U: nan}},
+		{"both NaN", estimator.Query{L: nan, U: nan}},
+		{"inverted", estimator.Query{L: 10, U: 0}},
+	}
+	entry := []struct {
+		name string
+		call func(q estimator.Query) error
+	}{
+		{"Answer", func(q estimator.Query) error {
+			_, err := eng.Answer(q, acc)
+			return err
+		}},
+		{"AnswerBatch", func(q estimator.Query) error {
+			_, err := eng.AnswerBatch([]estimator.Query{{L: 0, U: 1}, q}, acc)
+			return err
+		}},
+		{"EstimateOnly", func(q estimator.Query) error {
+			_, err := eng.EstimateOnly(q)
+			return err
+		}},
+	}
+	for _, e := range entry {
+		for _, b := range bad {
+			err := e.call(b.q)
+			if err == nil {
+				t.Errorf("%s/%s: accepted invalid query", e.name, b.name)
+				continue
+			}
+			// The rejection must be the validation error, not a downstream
+			// failure (e.g. "no samples collected yet" from a path that
+			// only stumbled over the bad query later, or not at all).
+			if !strings.Contains(err.Error(), "NaN") && !strings.Contains(err.Error(), "L > U") {
+				t.Errorf("%s/%s: rejected with %v, want a query-validation error", e.name, b.name, err)
+			}
+		}
+	}
+	if got := accountant.Spent(); got != 0 {
+		t.Errorf("invalid queries spent budget: %v", got)
+	}
+	if got := accountant.Queries(); got != 0 {
+		t.Errorf("invalid queries released answers: %d", got)
+	}
+}
+
+// TestCacheReturnsCopies pins that the answer cache is mutation-proof:
+// a caller scribbling on a returned answer must not corrupt what later
+// identical requests are served.
+func TestCacheReturnsCopies(t *testing.T) {
+	t.Parallel()
+	nw, _ := buildNetwork(t, 6, 2000, 4)
+	eng, err := New(nw, WithSeed(11), WithAnswerCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := estimator.Query{L: 40, U: 120}
+	acc := estimator.Accuracy{Alpha: 0.05, Delta: 0.7}
+	first, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Value
+	first.Value = -1e18 // caller mutates the answer it was handed
+	first.Plan.EpsilonPrime = 0
+
+	second, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(second.Value) != math.Float64bits(want) {
+		t.Fatalf("cache hit served mutated value %v, want %v", second.Value, want)
+	}
+	if second.Plan.EpsilonPrime == 0 {
+		t.Fatal("cache hit served mutated plan")
+	}
+	// Mutating the hit must not corrupt the next hit either.
+	second.Value = 12345
+	third, err := eng.Answer(q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(third.Value) != math.Float64bits(want) {
+		t.Fatalf("second cache hit served %v, want %v", third.Value, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"privrange/internal/estimator"
 	"privrange/internal/index"
 	"privrange/internal/sampling"
+	"privrange/internal/shard"
 )
 
 // snapshot is one immutable, atomically consistent view of the source —
@@ -31,12 +32,24 @@ type snapshot struct {
 	// coverage is the fraction of records held by reachable nodes at
 	// capture time — the degradation provenance released with answers.
 	coverage float64
+	// views holds the per-shard estimation views when the source is a
+	// ShardedSource; estimation then scatter-gathers across them (see
+	// router.go) instead of running the single-index kernels. Nil for
+	// single-broker sources.
+	views []shard.View
 }
 
 // snapshotLocked captures the source state. Callers must hold e.mu in
 // either mode (read for queries, write during collection).
 func (e *Engine) snapshotLocked() snapshot {
 	var s snapshot
+	if ss, ok := e.src.(ShardedSource); ok {
+		cs := ss.ShardSnapshot()
+		s.sets, s.rate, s.nodes, s.n = cs.Sets, cs.Rate, cs.Nodes, cs.N
+		s.version, s.coverage = cs.Version, cs.Coverage
+		s.views = cs.Views
+		return s
+	}
 	s.sets, s.idx, s.rate, s.nodes, s.n, s.version, s.coverage = e.src.Snapshot()
 	return s
 }
@@ -54,6 +67,13 @@ func (e *Engine) readSnapshot() snapshot {
 // SampleSet oracle path when no index was captured. The two paths
 // return bit-identical values, so callers cannot observe which one ran.
 func rankEstimate(snap snapshot, q estimator.Query) (float64, error) {
+	if snap.views != nil {
+		var out [1]float64
+		if err := rankEstimateSharded(snap, []estimator.Query{q}, out[:]); err != nil {
+			return 0, err
+		}
+		return out[0], nil
+	}
 	rc := estimator.RankCounting{P: snap.rate}
 	if snap.idx != nil {
 		return rc.EstimateIndex(snap.idx, q)
@@ -65,6 +85,9 @@ func rankEstimate(snap snapshot, q estimator.Query) (float64, error) {
 // queries[i], using the tiled flat-index batch kernel when the snapshot
 // carries an index and the per-query fallback otherwise.
 func rankEstimateBatch(snap snapshot, queries []estimator.Query, raws []float64) error {
+	if snap.views != nil {
+		return rankEstimateSharded(snap, queries, raws)
+	}
 	rc := estimator.RankCounting{P: snap.rate}
 	if snap.idx != nil {
 		return rc.EstimateIndexBatch(snap.idx, queries, raws)

@@ -154,6 +154,18 @@ func (b *BaseStation) SampleSets() []*sampling.SampleSet {
 	return out
 }
 
+// NodeIDs returns the ids of all nodes with stored samples, ascending —
+// parallel to SampleSets, so a sharded cluster can place each set at
+// its global position.
+func (b *BaseStation) NodeIDs() []int {
+	ids := make([]int, 0, len(b.sets))
+	for id := range b.sets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // TotalN returns Σ n_i over all reporting nodes — the |D| the accuracy
 // guarantees are relative to.
 func (b *BaseStation) TotalN() int {

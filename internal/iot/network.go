@@ -56,6 +56,14 @@ type Config struct {
 	// byte corruption, scheduled crash/recover windows — instead of one
 	// global Bernoulli loss rate. Nodes without an entry follow LossRate.
 	Faults map[int]FaultProfile
+	// NodeIDs assigns an explicit id to each initial partition:
+	// parts[i] is held by node NodeIDs[i]. Ids must be distinct and
+	// non-negative but need not be contiguous — a sharded deployment
+	// builds each shard's network with the shard's *global* node ids so
+	// every node keeps the exact per-id sampling stream it would have in
+	// a single-broker network (seeds derive from the id). Nil selects the
+	// historical 0..k-1 numbering.
+	NodeIDs []int
 	// FailureThreshold enables the collection circuit breaker: a node
 	// failing this many consecutive rounds is auto-marked down (no more
 	// bytes are wasted on it) and reinstated with exponential backoff.
@@ -99,8 +107,12 @@ type Network struct {
 	mu    sync.RWMutex
 	cfg   Config
 	nodes []*Node
-	base  *BaseStation
-	cost  CostReport
+	// idIndex maps a node id to its position in nodes. Ids are 0..k-1 by
+	// default but arbitrary when Config.NodeIDs assigned explicit
+	// (global) ids.
+	idIndex map[int]int
+	base    *BaseStation
+	cost    CostReport
 	// nodeRate tracks the Bernoulli rate each node's base-station sample
 	// was collected at; the network-wide guaranteed rate is the minimum.
 	nodeRate map[int]float64
@@ -192,18 +204,36 @@ func New(parts [][]float64, cfg Config) (*Network, error) {
 			return nil, err
 		}
 	}
+	if cfg.NodeIDs != nil && len(cfg.NodeIDs) != len(parts) {
+		return nil, fmt.Errorf("iot: %d node ids for %d partitions", len(cfg.NodeIDs), len(parts))
+	}
 	nw := &Network{
 		cfg:      cfg,
 		base:     NewBaseStation(),
 		rng:      stats.NewRNG(cfg.Seed ^ 0x10c5),
+		idIndex:  make(map[int]int),
 		dirty:    make(map[int]bool),
 		down:     make(map[int]bool),
 		breaker:  make(map[int]*breakerState),
 		nodeRate: make(map[int]float64),
 	}
 	for i, part := range parts {
-		node := NewNode(i, cfg.Seed+int64(i)*7919)
+		id := i
+		if cfg.NodeIDs != nil {
+			id = cfg.NodeIDs[i]
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("iot: negative node id %d", id)
+		}
+		if _, dup := nw.idIndex[id]; dup {
+			return nil, fmt.Errorf("iot: duplicate node id %d", id)
+		}
+		// The seed derives from the id, not the slice position, so a node
+		// samples the same stream whether it lives in a single-broker
+		// network or inside a shard that carries its global id.
+		node := NewNode(id, cfg.Seed+int64(id)*7919)
 		node.Load(part)
+		nw.idIndex[id] = len(nw.nodes)
 		nw.nodes = append(nw.nodes, node)
 	}
 	return nw, nil
@@ -482,9 +512,17 @@ func (nw *Network) AddNode(values []float64) (int, error) {
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	id := len(nw.nodes)
+	// Next id past the highest assigned, so explicit (sparse) numberings
+	// and the historical 0..k-1 both extend without collisions.
+	id := 0
+	for _, node := range nw.nodes {
+		if node.ID() >= id {
+			id = node.ID() + 1
+		}
+	}
 	node := NewNode(id, nw.cfg.Seed+int64(id)*7919)
 	node.Load(values)
+	nw.idIndex[id] = len(nw.nodes)
 	nw.nodes = append(nw.nodes, node)
 	nw.dirty[id] = true
 	return id, nil
@@ -498,7 +536,7 @@ func (nw *Network) AddNode(values []float64) (int, error) {
 func (nw *Network) SetDown(nodeID int, down bool) error {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	if nodeID < 0 || nodeID >= len(nw.nodes) {
+	if _, ok := nw.idIndex[nodeID]; !ok {
 		return fmt.Errorf("iot: no node %d", nodeID)
 	}
 	if nw.down[nodeID] == down {
@@ -542,13 +580,7 @@ func (nw *Network) Coverage() float64 {
 }
 
 func (nw *Network) coverageLocked() float64 {
-	total, live := 0, 0
-	for _, node := range nw.nodes {
-		total += node.Len()
-		if !nw.unreachableLocked(node.ID()) {
-			live += node.Len()
-		}
-	}
+	live, total := nw.liveRecordsLocked()
 	if total == 0 {
 		return 1
 	}
@@ -566,13 +598,14 @@ func (nw *Network) Ingest(nodeID int, values []float64) error {
 }
 
 func (nw *Network) ingest(nodeID int, values []float64) error {
-	if nodeID < 0 || nodeID >= len(nw.nodes) {
+	pos, ok := nw.idIndex[nodeID]
+	if !ok {
 		return fmt.Errorf("iot: no node %d", nodeID)
 	}
 	if len(values) == 0 {
 		return nil
 	}
-	nw.nodes[nodeID].Load(values)
+	nw.nodes[pos].Load(values)
 	nw.dirty[nodeID] = true
 	return nil
 }
@@ -590,8 +623,10 @@ func (nw *Network) IngestRound(perNode [][]float64) error {
 	if len(perNode) != len(nw.nodes) {
 		return fmt.Errorf("iot: round has %d node batches, network has %d nodes", len(perNode), len(nw.nodes))
 	}
-	for id, values := range perNode {
-		if err := nw.ingest(id, values); err != nil {
+	// perNode is positional: batch i goes to the i-th node regardless of
+	// its (possibly global) id.
+	for i, values := range perNode {
+		if err := nw.ingest(nw.nodes[i].ID(), values); err != nil {
 			return err
 		}
 	}
@@ -663,6 +698,71 @@ func (nw *Network) Snapshot() (sets []*sampling.SampleSet, idx *index.Index, rat
 	defer nw.mu.RUnlock()
 	idx, _ = nw.base.Index()
 	return nw.base.SampleSets(), idx, nw.rate(), len(nw.nodes), nw.totalN(), nw.base.Version(), nw.coverageLocked()
+}
+
+// State is one atomically consistent view of a network for composition
+// by a sharded cluster: the reported node ids (ascending) with their
+// sample sets and columnar index, plus the scalar state in the exact
+// units a cluster needs to reproduce the single-broker values
+// bit-for-bit (live/total record counts instead of a pre-divided
+// coverage, so the composed ratio is computed once from integers).
+type State struct {
+	// IDs are the node ids with stored samples, ascending; Sets is
+	// parallel to IDs. Nodes that never reported do not appear.
+	IDs  []int
+	Sets []*sampling.SampleSet
+	// Idx is the columnar index over Sets (nil when stale or absent).
+	Idx *index.Index
+	// Rate, Nodes, N and Version mirror Snapshot.
+	Rate    float64
+	Nodes   int
+	N       int
+	Version uint64
+	// LiveRecords / TotalRecords are the integer coverage numerator and
+	// denominator: records held by reachable nodes vs all records.
+	LiveRecords, TotalRecords int
+}
+
+// State captures the network's composable view under the read lock.
+func (nw *Network) State() State {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	idx, _ := nw.base.Index()
+	live, total := nw.liveRecordsLocked()
+	return State{
+		IDs:          nw.base.NodeIDs(),
+		Sets:         nw.base.SampleSets(),
+		Idx:          idx,
+		Rate:         nw.rate(),
+		Nodes:        len(nw.nodes),
+		N:            nw.totalN(),
+		Version:      nw.base.Version(),
+		LiveRecords:  live,
+		TotalRecords: total,
+	}
+}
+
+// liveRecordsLocked returns the integer coverage counts: records held
+// by reachable nodes and records held overall. Callers hold nw.mu.
+func (nw *Network) liveRecordsLocked() (live, total int) {
+	for _, node := range nw.nodes {
+		total += node.Len()
+		if !nw.unreachableLocked(node.ID()) {
+			live += node.Len()
+		}
+	}
+	return live, total
+}
+
+// NodeIDs returns the ids of all member nodes in join order.
+func (nw *Network) NodeIDs() []int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	ids := make([]int, len(nw.nodes))
+	for i, node := range nw.nodes {
+		ids[i] = node.ID()
+	}
+	return ids
 }
 
 // StateVersion returns the base station's monotonic sample-state

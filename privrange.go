@@ -38,6 +38,7 @@ import (
 	"privrange/internal/estimator"
 	"privrange/internal/iot"
 	"privrange/internal/optimize"
+	"privrange/internal/shard"
 )
 
 // Accuracy is an (α, δ) accuracy requirement (Definition 2.2 of the
@@ -103,6 +104,14 @@ type Options struct {
 	// Nodes is the number of simulated IoT nodes the data is spread
 	// across. Zero selects 16.
 	Nodes int
+	// Shards is the number of broker shards the fleet is partitioned
+	// across (consistent hashing on node id). Each shard owns its own
+	// collection loop, base station, and columnar sample index; queries
+	// scatter-gather across shards and release one answer with exactly
+	// one noise draw and one budget charge, bit-identical to the
+	// single-broker engine for any shard count. Zero or one selects the
+	// single-broker deployment.
+	Shards int
 	// Seed drives all randomness (sampling and noise) deterministically.
 	Seed int64
 	// TotalBudget caps the cumulative effective privacy loss Σε′ across
@@ -136,9 +145,20 @@ type Options struct {
 // sample snapshots while ingestion and collection serialize behind
 // writer locks (see DESIGN.md §6 for the concurrency model).
 type System struct {
-	network    *iot.Network
+	network    deployment
 	engine     *core.Engine
 	accountant *dp.Accountant
+}
+
+// deployment is the facade's view of the collection tier: the engine's
+// Source contract plus the operational surface System exposes. Both the
+// single-broker iot.Network and the sharded shard.Cluster satisfy it.
+type deployment interface {
+	core.Source
+	Coverage() float64
+	SetDown(nodeID int, down bool) error
+	IngestRound(perNode [][]float64) error
+	Cost() iot.CostReport
 }
 
 // NewSystem builds a deployment over the given readings. The values are
@@ -160,9 +180,23 @@ func NewSystem(values []float64, opt Options) (*System, error) {
 	if opt.Tree {
 		topo = iot.Tree
 	}
-	network, err := iot.New(parts, iot.Config{Seed: opt.Seed, Topology: topo, Faults: opt.Faults})
-	if err != nil {
-		return nil, err
+	cfg := iot.Config{Seed: opt.Seed, Topology: topo, Faults: opt.Faults}
+	var network deployment
+	if opt.Shards > 1 {
+		cluster, err := shard.New(parts, opt.Shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		network = cluster
+	} else {
+		if opt.Shards < 0 {
+			return nil, fmt.Errorf("privrange: negative shard count %d", opt.Shards)
+		}
+		nw, err := iot.New(parts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		network = nw
 	}
 	accountant, err := dp.NewAccountant(opt.TotalBudget)
 	if err != nil {

@@ -1,0 +1,118 @@
+package privrange
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"privrange/internal/iot"
+)
+
+// TestShardChaosDegradedShard degrades one shard — a scheduled crash
+// window on a single node, so exactly one shard's collection loop sees
+// failures — and checks the sharded deployment under BestEffort stays
+// bit-identical to the single-broker engine through the outage: same
+// released values, same composed coverage (< 1 while the node is dark,
+// back to 1 after recovery), monotonic version provenance. Crash
+// windows are deterministic (they consume no RNG), so the fault script
+// replays identically for any shard count; per-node loss rates would
+// not (each shard draws from its own loss stream) and are deliberately
+// not used here.
+func TestShardChaosDegradedShard(t *testing.T) {
+	values := shardTestValues(4000)
+	const crashed = 13
+	opts := func(shards int) Options {
+		return Options{
+			Nodes:      32,
+			Seed:       23,
+			Shards:     shards,
+			BestEffort: true,
+			Faults: map[int]iot.FaultProfile{
+				// Round 1 is clean (the first collection establishes the
+				// rate); the node is dark for rounds 2-3 and back for 4.
+				crashed: {CrashWindows: []iot.CrashWindow{{From: 2, Until: 4}}},
+			},
+		}
+	}
+	single, err := NewSystem(values, opts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSystem(values, opts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Alpha: 0.06, Delta: 0.8}
+
+	step := func(name string, wantDegraded bool) {
+		t.Helper()
+		a, err := single.Count(50, 400, acc)
+		if err != nil {
+			t.Fatalf("%s single: %v", name, err)
+		}
+		b, err := sharded.Count(50, 400, acc)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", name, err)
+		}
+		if math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+			t.Errorf("%s: sharded value %v != single-broker %v", name, b.Value, a.Value)
+		}
+		if a.Coverage != b.Coverage {
+			t.Errorf("%s: sharded coverage %v != single-broker %v", name, b.Coverage, a.Coverage)
+		}
+		if wantDegraded && b.Coverage >= 1 {
+			t.Errorf("%s: coverage %v, want < 1 while the shard is degraded", name, b.Coverage)
+		}
+		if !wantDegraded && b.Coverage != 1 {
+			t.Errorf("%s: coverage %v, want 1", name, b.Coverage)
+		}
+	}
+	ingest := func(name string, wantPartial bool) {
+		t.Helper()
+		for _, sys := range []*System{single, sharded} {
+			err := sys.Ingest(shardTestValues(64))
+			if wantPartial {
+				if !errors.Is(err, iot.ErrPartialRound) {
+					t.Fatalf("%s: want ErrPartialRound, got %v", name, err)
+				}
+			} else if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+
+	step("round 1 clean", false)
+	v1 := countVersions(t, single, sharded, acc)
+
+	ingest("round 2 in window", true)
+	step("degraded", true)
+	v2 := countVersions(t, single, sharded, acc)
+	if v2 < v1 {
+		t.Errorf("composed version moved backwards: %d -> %d", v1, v2)
+	}
+
+	ingest("round 3 in window", true)
+	step("still degraded", true)
+
+	ingest("round 4 recovered", false)
+	step("recovered", false)
+	v3 := countVersions(t, single, sharded, acc)
+	if v3 <= v2 {
+		t.Errorf("recovery did not advance the composed version: %d -> %d", v2, v3)
+	}
+}
+
+// countVersions releases one answer on BOTH systems — the noise streams
+// must stay in lockstep for the bit-identity assertions — and returns
+// the sharded answer's composed CollectionVersion provenance.
+func countVersions(t *testing.T, single, sharded *System, acc Accuracy) uint64 {
+	t.Helper()
+	if _, err := single.Count(0, 499, acc); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sharded.Count(0, 499, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans.CollectionVersion
+}
