@@ -6,14 +6,15 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: all check build vet lint privlint staticcheck tools test race cover bench bench-smoke bench-shard experiments examples fuzz chaos shard clean
+.PHONY: all check build vet lint privlint staticcheck tools test race cover bench bench-smoke bench-shard experiments examples fuzz chaos shard durability clean
 
 all: build vet test
 
 # check is the pre-merge gate: compile, static analysis (vet + the
-# privlint invariant suite + staticcheck), tests, and the
-# fault-injection matrix under the race detector.
-check: build lint test chaos
+# privlint invariant suite + staticcheck), tests, the fault-injection
+# matrix and the crash-point durability matrix, both under the race
+# detector.
+check: build lint test chaos durability
 
 build:
 	$(GO) build ./...
@@ -27,9 +28,9 @@ vet:
 lint: vet privlint staticcheck
 
 # privlint is the repo's own go/analysis-style suite (internal/lint):
-# seven analyzers mechanizing the privacy, determinism, locking,
-# billing, error-wrapping and telemetry-taint invariants. See DESIGN.md
-# §8 for the catalog.
+# eight analyzers mechanizing the privacy, determinism, locking,
+# billing, error-wrapping, telemetry-taint and WAL-journaling
+# invariants. See DESIGN.md §8 for the catalog.
 privlint:
 	$(GO) run ./cmd/privlint ./...
 
@@ -106,6 +107,16 @@ fuzz:
 # race detector. See DESIGN.md §7 for the failure model these exercise.
 chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/iot/ .
+
+# durability runs the crash-consistency gate under the race detector:
+# the crash-point injection matrix (the marketplace killed at every WAL
+# instant, including torn writes, then recovered and compared against
+# the acked-operations oracle), the WAL/recovery edge-case suite
+# (corrupt tails, snapshot+log replay, compaction), the torn-snapshot
+# regression, and the accountant snapshot/restore unit tests. See
+# DESIGN.md §12 for the durability model these prove.
+durability:
+	$(GO) test -race -run 'TestCrashPoint|TestWAL|TestRecover|TestReplay|TestDurable|TestEnableDurability|TestGroupCommit|TestCompaction|TestDecodeWAL|TestConcurrentSaveVsBuy|TestRestoreRejects|TestRestoreRefuses|TestAccountant' ./internal/market/ ./internal/dp/
 
 # shard runs the sharded scale-out gate under the race detector: the
 # shard-count determinism suite (answers bit-identical to the

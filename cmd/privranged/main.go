@@ -7,7 +7,7 @@
 //
 //	privranged [-addr 127.0.0.1:7070] [-data pollution.csv] [-nodes 16]
 //	           [-seed 1] [-base-fee 1] [-tariff-c 1e9] [-budget 0]
-//	           [-ops 127.0.0.1:7071]
+//	           [-ops 127.0.0.1:7071] [-wal /var/lib/privrange]
 //
 // The protocol is newline-delimited JSON; see cmd/privquery for a client.
 package main
@@ -34,17 +34,21 @@ func main() {
 		budget  = flag.Float64("budget", 0, "total privacy budget cap per dataset (0 = uncapped)")
 		prepaid = flag.Bool("prepaid", false, "require prepaid customer accounts (privquery deposit)")
 		state   = flag.String("state", "", "trading-state snapshot file (loaded on boot, saved on shutdown)")
+		wal     = flag.String("wal", "", "durability directory: journal every trade before acking, recover on boot (excludes -state)")
 		custCap = flag.Float64("customer-cap", 0, "per-customer privacy cap per dataset (0 = uncapped)")
 		ops     = flag.String("ops", "", "operational HTTP endpoint address (metrics, snapshot, pprof); empty disables")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *custCap, *ops); err != nil {
+	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *wal, *custCap, *ops); err != nil {
 		fmt.Fprintf(os.Stderr, "privranged: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath string, custCap float64, opsAddr string) error {
+func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath, walDir string, custCap float64, opsAddr string) error {
+	if walDir != "" && statePath != "" {
+		return fmt.Errorf("-wal and -state are exclusive: the WAL directory carries its own snapshot")
+	}
 	table, err := loadTable(dataPath, seed)
 	if err != nil {
 		return err
@@ -65,6 +69,15 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 		if err := mp.SetCustomerPrivacyCap(custCap); err != nil {
 			return err
 		}
+	}
+	if walDir != "" {
+		// After EnablePrepaid (recovered balances need wallets) and
+		// before AddDataset (each dataset's spent ε restores as it
+		// registers).
+		if err := mp.EnableDurability(walDir); err != nil {
+			return fmt.Errorf("enable durability in %s: %w", walDir, err)
+		}
+		fmt.Printf("privranged: durable accounting in %s (%d receipts recovered)\n", walDir, mp.Purchases())
 	}
 	if statePath != "" {
 		if f, err := os.Open(statePath); err == nil {
@@ -109,6 +122,12 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 	fmt.Println("privranged: shutting down")
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if walDir != "" {
+		if err := mp.CloseDurability(); err != nil {
+			return err
+		}
+		fmt.Printf("privranged: compacted %d receipts into %s\n", mp.Purchases(), walDir)
 	}
 	if statePath != "" {
 		f, err := os.Create(statePath)

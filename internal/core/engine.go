@@ -147,6 +147,12 @@ func WithAccountant(a *dp.Accountant) Option {
 	return func(e *Engine) { e.accountant = a }
 }
 
+// Accountant returns the engine's privacy accountant (nil when none is
+// attached). The market's durability layer uses it to snapshot and
+// restore Σε′ across broker restarts; it is set once at construction,
+// so reading it here is race-free.
+func (e *Engine) Accountant() *dp.Accountant { return e.accountant }
+
 // WithAutoCollect controls whether the engine may command the network to
 // raise its sampling rate when a request is infeasible at the current
 // rate. Enabled by default.

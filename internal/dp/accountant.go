@@ -2,6 +2,7 @@ package dp
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"privrange/internal/telemetry"
@@ -101,4 +102,50 @@ func (a *Accountant) Queries() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.n
+}
+
+// State is an accountant's durable bookkeeping: the cumulative ε
+// released and the number of recorded spends. The market layer
+// journals and snapshots it so privacy exposure survives a broker
+// restart — a crash must never reset Σε′ to zero.
+type State struct {
+	Spent   float64 `json:"spent"`
+	Queries int     `json:"queries"`
+}
+
+// Snapshot returns the accountant's current durable state.
+func (a *Accountant) Snapshot() State {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return State{Spent: a.spent, Queries: a.n}
+}
+
+// Restore loads a previously snapshotted state into a pristine
+// accountant. It refuses non-finite or negative values, a state over
+// the accountant's cap, and — critically — an accountant that has
+// already recorded spends: restoring over live bookkeeping would
+// erase released ε. The cap itself is construction-time configuration
+// and is not part of the state.
+func (a *Accountant) Restore(s State) error {
+	if math.IsNaN(s.Spent) || math.IsInf(s.Spent, 0) || s.Spent < 0 {
+		return fmt.Errorf("dp: restore: spent %v is not a valid budget", s.Spent)
+	}
+	if s.Queries < 0 {
+		return fmt.Errorf("dp: restore: negative query count %d", s.Queries)
+	}
+	if s.Queries == 0 && s.Spent != 0 {
+		return fmt.Errorf("dp: restore: spent %v with zero recorded queries", s.Spent)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent != 0 || a.n != 0 {
+		return fmt.Errorf("dp: restore into an accountant that already recorded %d spends (Σε′=%.4f); restore must precede service", a.n, a.spent)
+	}
+	if a.cap > 0 && s.Spent > a.cap {
+		return fmt.Errorf("dp: restore: spent %.4f exceeds cap %.4f", s.Spent, a.cap)
+	}
+	a.spent = s.Spent
+	a.n = s.Queries
+	a.publishLocked()
+	return nil
 }

@@ -286,3 +286,76 @@ func TestAccountantConcurrent(t *testing.T) {
 		t.Errorf("Spent = %v, want 800", got)
 	}
 }
+
+func TestAccountantSnapshotRestore(t *testing.T) {
+	t.Parallel()
+	a, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.5); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	if snap.Queries != 2 || snap.Spent != a.Spent() {
+		t.Fatalf("snapshot %+v does not match accountant (spent %v, 2 queries)", snap, a.Spent())
+	}
+	// Restore into a pristine twin: bit-identical running sum, and the
+	// cap keeps binding from where the snapshot left off.
+	b, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent() != snap.Spent || b.Queries() != snap.Queries {
+		t.Fatalf("restored (%v, %d), want (%v, %d)", b.Spent(), b.Queries(), snap.Spent, snap.Queries)
+	}
+	if err := b.Spend(1.5); err == nil {
+		t.Error("restored spend must count against the cap")
+	}
+	if err := b.Spend(0.5); err != nil {
+		t.Errorf("in-budget spend after restore failed: %v", err)
+	}
+}
+
+func TestAccountantRestoreValidation(t *testing.T) {
+	t.Parallel()
+	fresh := func() *Accountant {
+		a, err := NewAccountant(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	bad := []State{
+		{Spent: math.NaN(), Queries: 1},
+		{Spent: math.Inf(1), Queries: 1},
+		{Spent: -0.1, Queries: 1},
+		{Spent: 0.1, Queries: -1},
+		{Spent: 0.1, Queries: 0}, // spend with no recorded queries
+		{Spent: 1.5, Queries: 3}, // over the cap
+	}
+	for _, s := range bad {
+		if err := fresh().Restore(s); err == nil {
+			t.Errorf("Restore accepted corrupt state %+v", s)
+		}
+	}
+	// Restoring over live bookkeeping would erase released epsilon.
+	a := fresh()
+	if err := a.Spend(0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Restore(State{Spent: 0.1, Queries: 1}); err == nil {
+		t.Error("Restore into a non-pristine accountant must fail")
+	}
+	// An uncapped accountant accepts any finite state.
+	var u Accountant
+	if err := u.Restore(State{Spent: 123.5, Queries: 9}); err != nil {
+		t.Errorf("uncapped restore failed: %v", err)
+	}
+}

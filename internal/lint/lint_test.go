@@ -18,6 +18,7 @@ func TestBaseLock(t *testing.T)        { analysistest.Run(t, lint.BaseLock, "bas
 func TestErrWrap(t *testing.T)         { analysistest.Run(t, lint.ErrWrap, "errwrap") }
 func TestBilling(t *testing.T)         { analysistest.Run(t, lint.Billing, "billing") }
 func TestTelemetryTaint(t *testing.T)  { analysistest.Run(t, lint.TelemetryTaint, "telemetrytaint") }
+func TestWALDebit(t *testing.T)        { analysistest.Run(t, lint.WALDebit, "waldebit") }
 
 // TestSuiteCleanOnModule pins the invariant catalog to the tree: the
 // full suite must report nothing on the module itself.

@@ -104,5 +104,6 @@ func All() []*Analyzer {
 		NoiseSource,
 		PrivacyBoundary,
 		TelemetryTaint,
+		WALDebit,
 	}
 }

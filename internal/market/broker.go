@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"privrange/internal/core"
+	"privrange/internal/dp"
 	"privrange/internal/estimator"
 	"privrange/internal/pricing"
 	"privrange/internal/telemetry"
@@ -25,6 +26,18 @@ type Broker struct {
 	wallets *Wallets
 	// customerCap bounds Σε′ per (customer, dataset); 0 means uncapped.
 	customerCap float64
+	// commitMu linearizes state capture against sales: every mutating
+	// operation (a sale's debit→record span, a deposit) holds it shared,
+	// and snapshotting (SaveState, WAL compaction) holds it exclusively —
+	// so a captured snapshot can never see a debit whose receipt has not
+	// landed yet (the torn-snapshot bug).
+	commitMu sync.RWMutex
+	// durable, when non-nil, write-ahead-logs every mutation before it
+	// is acknowledged (see wal.go / recover.go). Guarded by mu.
+	durable *durability
+	// restored stashes per-dataset accountant state recovered from disk
+	// until the dataset registers its engine. Guarded by mu.
+	restored map[string]dp.State
 	// tele holds the optional marketplace metrics (atomic so the ops
 	// endpoint can attach them after the broker opened shop without
 	// racing in-flight sales); nil means record nothing.
@@ -43,6 +56,45 @@ func (b *Broker) walletStore() *Wallets {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.wallets
+}
+
+func (b *Broker) durableStore() *durability {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.durable
+}
+
+// journal appends one mutation record to the WAL. Without durability it
+// is a no-op: the broker then runs with the historical in-memory-only
+// semantics.
+func (b *Broker) journal(r WALRecord) error {
+	d := b.durableStore()
+	if d == nil {
+		return nil
+	}
+	_, err := d.wal.Append(r)
+	return err
+}
+
+// journalSync makes everything journaled so far durable (group-commit
+// fsync). Mutating operations call it exactly once, after their last
+// record and before acknowledging the customer.
+func (b *Broker) journalSync() error {
+	d := b.durableStore()
+	if d == nil {
+		return nil
+	}
+	return d.wal.Sync()
+}
+
+// nextSale issues a process-unique sale id linking one sale's WAL
+// records. Zero means "no durability" and is never issued.
+func (b *Broker) nextSale() uint64 {
+	d := b.durableStore()
+	if d == nil {
+		return 0
+	}
+	return d.sales.Add(1)
 }
 
 type brokerDataset struct {
@@ -100,6 +152,16 @@ func (b *Broker) Register(name string, engine *core.Engine, n, nodes int) error 
 	defer b.mu.Unlock()
 	if _, exists := b.datasets[name]; exists {
 		return fmt.Errorf("market: dataset %q already registered", name)
+	}
+	// Recovered ε bookkeeping lands on the dataset's accountant as it
+	// (re)registers, so Σε′ survives the restart the ledger survived.
+	if state, ok := b.restored[name]; ok {
+		if a := engine.Accountant(); a != nil {
+			if err := a.Restore(state); err != nil {
+				return fmt.Errorf("market: dataset %q: %w", name, err)
+			}
+			delete(b.restored, name)
+		}
 	}
 	b.datasets[name] = &brokerDataset{
 		engine: engine,
@@ -163,6 +225,7 @@ func (b *Broker) Buy(req Request) (*Response, error) {
 	m.begin(&tr, "market.buy")
 	resp, price, err := b.buy(req, &tr)
 	m.finishBuy(&tr, err == nil, price)
+	b.maybeCompact()
 	return resp, err
 }
 
@@ -183,9 +246,19 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 	if err != nil {
 		return nil, 0, err
 	}
+	// The debit→record span holds the commit lock shared: concurrent
+	// sales interleave freely, but a snapshot (SaveState, compaction)
+	// waits for in-flight sales and so never captures a half-done one.
+	b.commitMu.RLock()
+	defer b.commitMu.RUnlock()
+	sale := b.nextSale()
 	wallets := b.walletStore()
 	if wallets != nil {
 		if err := wallets.debit(req.Customer, price); err != nil {
+			return nil, 0, err
+		}
+		if err := b.journal(WALRecord{Op: opDebit, Sale: sale, Customer: req.Customer, Amount: price}); err != nil {
+			wallets.refund(req.Customer, price)
 			return nil, 0, err
 		}
 	}
@@ -193,9 +266,7 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 	ans, err := ds.engine.Answer(req.Query(), req.Accuracy())
 	tr.Mark("answer")
 	if err != nil {
-		if wallets != nil {
-			wallets.refund(req.Customer, price)
-		}
+		b.rollbackSale(wallets, sale, req.Customer, price)
 		return nil, 0, err
 	}
 	// Per-customer privacy cap: the computed answer is withheld (not
@@ -206,9 +277,7 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 	if cap := b.customerPrivacyCap(); cap > 0 {
 		spent := b.ledger.PrivacySpentByCustomer(req.Customer, req.Dataset)
 		if spent+ans.Plan.EpsilonPrime > cap {
-			if wallets != nil {
-				wallets.refund(req.Customer, price)
-			}
+			b.rollbackSale(wallets, sale, req.Customer, price)
 			return nil, 0, fmt.Errorf("market: customer %q would exceed the per-customer privacy cap on %q (%.4f + %.4f > %.4f)",
 				req.Customer, req.Dataset, spent, ans.Plan.EpsilonPrime, cap)
 		}
@@ -226,6 +295,21 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 		Coverage:     ans.Coverage,
 	})
 	tr.Mark("record")
+	// Journal the ε spend and the receipt (the sale's commit record),
+	// then group-commit: the answer is not released until the whole
+	// sale is durable. On a journaling failure the in-memory books keep
+	// the sale (they stay internally balanced) but the customer gets an
+	// error and the WAL refuses all further mutations — after restart,
+	// replay sees no commit record and restores the customer's money.
+	if err := b.journal(WALRecord{Op: opSpend, Sale: sale, Dataset: req.Dataset, Epsilon: ans.Plan.EpsilonPrime}); err != nil {
+		return nil, 0, err
+	}
+	if err := b.journal(WALRecord{Op: opReceipt, Sale: sale, Receipt: &receipt}); err != nil {
+		return nil, 0, err
+	}
+	if err := b.journalSync(); err != nil {
+		return nil, 0, err
+	}
 	return &Response{
 		OK:                true,
 		Price:             price,
@@ -238,6 +322,58 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 		Coverage:          ans.Coverage,
 		CollectionVersion: ans.CollectionVersion,
 	}, price, nil
+}
+
+// rollbackSale undoes a sale's debit after the answer failed or was
+// withheld: the in-memory refund restores the balance through the same
+// float operations the debit applied, and the journaled refund record
+// resolves the sale on disk so replay applies the debit/refund pair
+// (net zero) instead of leaving it dangling. The sync is best-effort —
+// an unsynced refund just means replay treats the sale as in-flight
+// and skips the debit entirely, which yields the same balance.
+func (b *Broker) rollbackSale(wallets *Wallets, sale uint64, customer string, price float64) {
+	if wallets == nil {
+		return
+	}
+	wallets.refund(customer, price)
+	if err := b.journal(WALRecord{Op: opRefund, Sale: sale, Customer: customer, Amount: price}); err != nil {
+		return
+	}
+	b.journalSync() //nolint:errcheck — see above: replay is refund-equivalent either way
+}
+
+// Deposit credits a prepaid customer account durably: the grant is
+// journaled and fsynced before it is acknowledged. It fails in invoice
+// mode (no wallets attached).
+func (b *Broker) Deposit(customer string, amount float64) error {
+	w := b.walletStore()
+	if w == nil {
+		return fmt.Errorf("market: broker runs in invoice mode (no wallets attached)")
+	}
+	b.commitMu.RLock()
+	err := func() error {
+		if err := w.Deposit(customer, amount); err != nil {
+			return err
+		}
+		if err := b.journal(WALRecord{Op: opDeposit, Customer: customer, Amount: amount}); err != nil {
+			w.applyDelta(customer, -amount)
+			return err
+		}
+		if err := b.journalSync(); err != nil {
+			// The grant may or may not have hit the disk before the
+			// failure; the in-memory rollback matches the conservative
+			// outcome the customer was told (deposit failed). Replay
+			// decides from what actually landed.
+			w.applyDelta(customer, -amount)
+			return err
+		}
+		return nil
+	}()
+	b.commitMu.RUnlock()
+	if err == nil {
+		b.maybeCompact()
+	}
+	return err
 }
 
 // Ledger exposes the purchase ledger.
@@ -272,14 +408,10 @@ func (b *Broker) Handle(req Request) *Response {
 		}
 		return resp
 	case "deposit":
-		w := b.walletStore()
-		if w == nil {
-			return &Response{Error: "market: broker runs in invoice mode (no wallets attached)"}
-		}
-		if err := w.Deposit(req.Customer, req.Amount); err != nil {
+		if err := b.Deposit(req.Customer, req.Amount); err != nil {
 			return &Response{Error: err.Error()}
 		}
-		return &Response{OK: true, Balance: w.Balance(req.Customer)}
+		return &Response{OK: true, Balance: b.walletStore().Balance(req.Customer)}
 	case "balance":
 		w := b.walletStore()
 		if w == nil {

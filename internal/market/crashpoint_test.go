@@ -1,0 +1,367 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"privrange/internal/dataset"
+	"privrange/internal/pricing"
+)
+
+// crashTariff keeps workload prices in single digits so the scripted
+// deposits fund the scripted sales.
+func crashTariff() pricing.Function { return pricing.InverseVariance{C: 100} }
+
+// The crash-point matrix is the durability subsystem's proof: a scripted
+// trading workload is killed at EVERY instant the WAL can die — before a
+// record is buffered, before/during/after the flush write, after the
+// fsync but before the ack, and between compaction's snapshot and log
+// truncate — including torn writes that leave a fraction of the buffer
+// on disk. After each simulated kill, a fresh broker recovers from the
+// directory and its books must match the oracle: the state implied by
+// the operations the dead broker ACKNOWLEDGED, plus at most the one
+// in-flight operation that was durable but unacknowledged. Money, ε and
+// receipt ids all come out exactly once.
+
+// crashOp is one scripted workload step.
+type crashOp struct {
+	kind     string // "deposit", "buy", "rejected-buy"
+	customer string
+	amount   float64 // deposit only
+	dataset  string  // buy only
+}
+
+// crashWorkload exercises every journaled path: grants, sales on two
+// datasets, and a sale that is rejected after its debit (the refund
+// path) because the "capped" dataset's privacy budget is exhausted
+// from birth.
+var crashWorkload = []crashOp{
+	{kind: "deposit", customer: "alice", amount: 50},
+	{kind: "deposit", customer: "bob", amount: 30},
+	{kind: "buy", customer: "alice", dataset: "ozone"},
+	{kind: "buy", customer: "bob", dataset: "ozone"},
+	{kind: "rejected-buy", customer: "bob", dataset: "capped"},
+	{kind: "deposit", customer: "alice", amount: 20},
+	{kind: "buy", customer: "alice", dataset: "ozone"},
+	{kind: "buy", customer: "alice", dataset: "ozone"},
+}
+
+// crashCompactBytes keeps the threshold small enough that the workload
+// crosses it and compaction's crash point enters the matrix.
+const crashCompactBytes = 600
+
+func crashBuyReq(op crashOp) Request {
+	return Request{
+		Op: "buy", Dataset: op.dataset, Customer: op.customer,
+		L: 0, U: 200, Alpha: 0.2, Delta: 0.5,
+	}
+}
+
+// crashBroker builds the workload's broker over dir: prepaid, durable,
+// two accountant-backed datasets — "ozone" is open, "capped" has a
+// budget no sale can fit in, so buys on it always reject after the
+// debit and exercise the journaled refund.
+func crashBroker(t *testing.T, dir string) *Broker {
+	t.Helper()
+	b, err := NewBroker(crashTariff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AttachWallets(&Wallets{})
+	if err := b.EnableDurability(dir, WithCompactionThreshold(crashCompactBytes)); err != nil {
+		t.Fatal(err)
+	}
+	eng, n := durEngine(t, dataset.Ozone, 7, 0)
+	if err := b.Register("ozone", eng, n, 4); err != nil {
+		t.Fatal(err)
+	}
+	ceng, cn := durEngine(t, dataset.ParticulateMatter, 9, 1e-9)
+	if err := b.Register("capped", ceng, cn, 4); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// books is the oracle's model of the durable state.
+type books struct {
+	balances map[string]float64
+	receipts []Receipt
+	spent    map[string]float64
+	queries  map[string]int
+}
+
+func newBooks() *books {
+	return &books{
+		balances: make(map[string]float64),
+		spent:    make(map[string]float64),
+		queries:  make(map[string]int),
+	}
+}
+
+// runCrashWorkload drives the workload until an operation dies on the
+// injected crash. It returns the oracle (state implied by acknowledged
+// operations) and the operation in flight at the kill (nil when the
+// whole workload completed).
+func runCrashWorkload(t *testing.T, b *Broker) (*books, *crashOp) {
+	t.Helper()
+	oracle := newBooks()
+	for i := range crashWorkload {
+		op := crashWorkload[i]
+		switch op.kind {
+		case "deposit":
+			err := b.Deposit(op.customer, op.amount)
+			if errors.Is(err, errWALCrashed) {
+				return oracle, &op
+			}
+			if err != nil {
+				t.Fatalf("op %d deposit: %v", i, err)
+			}
+			oracle.balances[op.customer] += op.amount
+		case "buy":
+			resp, err := b.Buy(crashBuyReq(op))
+			if errors.Is(err, errWALCrashed) {
+				return oracle, &op
+			}
+			if err != nil {
+				t.Fatalf("op %d buy: %v", i, err)
+			}
+			oracle.balances[op.customer] -= resp.Price
+			oracle.receipts = append(oracle.receipts, *resp.Receipt)
+			oracle.spent[op.dataset] += resp.EpsilonPrime
+			oracle.queries[op.dataset]++
+		case "rejected-buy":
+			_, err := b.Buy(crashBuyReq(op))
+			if errors.Is(err, errWALCrashed) {
+				return oracle, &op
+			}
+			if err == nil {
+				t.Fatalf("op %d: buy on the budget-exhausted dataset succeeded", i)
+			}
+			// Acked as a rejection: the customer was debited and refunded.
+			// Mirror the wallet's actual subtract-then-add so the oracle
+			// stays bit-close to the recovered arithmetic.
+			price, _, qerr := b.Quote(op.dataset, crashBuyReq(op).Accuracy())
+			if qerr != nil {
+				t.Fatalf("op %d quote: %v", i, qerr)
+			}
+			oracle.balances[op.customer] = oracle.balances[op.customer] - price + price
+		}
+	}
+	return oracle, nil
+}
+
+// candidate is one cell of the crash matrix.
+type candidate struct {
+	index int           // which hook invocation dies
+	point walCrashPoint // what kind of instant it is (labeling)
+	keep  int           // torn-write length (crashSyncWrite only)
+}
+
+func pointName(p walCrashPoint) string {
+	switch p {
+	case crashAppend:
+		return "append"
+	case crashSyncStart:
+		return "sync-start"
+	case crashSyncWrite:
+		return "sync-write"
+	case crashSyncFsync:
+		return "pre-fsync"
+	case crashSyncDone:
+		return "post-fsync-unacked"
+	case crashCompact:
+		return "compact-before-truncate"
+	}
+	return fmt.Sprintf("point-%d", int(p))
+}
+
+// closeEnough compares money/ε with a tolerance far below any real
+// discrepancy (one missing debit ≈ 1e-1) but above float-reassociation
+// noise from replayed refund pairs.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestCrashPointMatrix enumerates every crash instant the workload
+// visits (plus torn-write variants) and proves exactly-once recovery
+// at each one.
+func TestCrashPointMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is the long way around; -short skips it")
+	}
+	// Counting pass: run the workload uncrashed and record every crash
+	// point the hook would be offered, with the buffer size at each.
+	type visit struct {
+		point walCrashPoint
+		n     int
+	}
+	var visits []visit
+	{
+		b := crashBroker(t, t.TempDir())
+		b.durableStore().wal.hook = func(p walCrashPoint, n int) (int, bool) {
+			visits = append(visits, visit{p, n})
+			return 0, false
+		}
+		if _, pending := runCrashWorkload(t, b); pending != nil {
+			t.Fatal("counting pass must not crash")
+		}
+		// No CloseDurability here: it would compact once more and
+		// enumerate a crash point the killed runs can never reach.
+	}
+	if len(visits) < 30 {
+		t.Fatalf("only %d crash candidates enumerated; the workload no longer covers the journal", len(visits))
+	}
+	var sawCompact bool
+	var cands []candidate
+	for i, v := range visits {
+		cands = append(cands, candidate{index: i, point: v.point})
+		if v.point == crashCompact {
+			sawCompact = true
+		}
+		if v.point == crashSyncWrite && v.n > 1 {
+			// Torn writes: a prefix of the buffer lands. One byte, half
+			// the buffer, all but one byte.
+			keeps := map[int]bool{1: true, v.n / 2: true, v.n - 1: true}
+			for keep := range keeps {
+				if keep > 0 && keep < v.n {
+					cands = append(cands, candidate{index: i, point: v.point, keep: keep})
+				}
+			}
+		}
+	}
+	if !sawCompact {
+		t.Fatal("workload never compacted; lower crashCompactBytes")
+	}
+	t.Logf("crash matrix: %d visits, %d candidates (torn variants included)", len(visits), len(cands))
+
+	for _, c := range cands {
+		c := c
+		name := fmt.Sprintf("%03d-%s", c.index, pointName(c.point))
+		if c.keep > 0 {
+			name = fmt.Sprintf("%s-torn-%d", name, c.keep)
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			b := crashBroker(t, dir)
+			calls := 0
+			b.durableStore().wal.hook = func(p walCrashPoint, n int) (int, bool) {
+				calls++
+				if calls-1 == c.index {
+					return c.keep, true
+				}
+				return 0, false
+			}
+			oracle, pending := runCrashWorkload(t, b)
+			if calls <= c.index {
+				t.Fatalf("candidate %d never fired (only %d hook calls)", c.index, calls)
+			}
+			// pending == nil is legal here: the kill struck a post-ack
+			// compaction, so every operation is in the oracle.
+			// The process is now "dead": no CloseDurability, no compaction
+			// — recovery starts from whatever bytes reached the directory.
+			rb := crashBroker(t, dir)
+			verifyRecovered(t, rb, oracle, pending)
+		})
+	}
+}
+
+// verifyRecovered checks the recovered broker's books against the
+// oracle, allowing exactly one durable-but-unacknowledged operation:
+// the one in flight at the kill.
+func verifyRecovered(t *testing.T, rb *Broker, oracle *books, pending *crashOp) {
+	t.Helper()
+	got := stateOf(t, rb)
+
+	// Receipts: the acknowledged ones must be there verbatim and in
+	// order; at most one extra, and only if a buy was in flight.
+	if len(got.Receipts) < len(oracle.receipts) || len(got.Receipts) > len(oracle.receipts)+1 {
+		t.Fatalf("recovered %d receipts, oracle has %d (+1 in-flight allowed)", len(got.Receipts), len(oracle.receipts))
+	}
+	for i, want := range oracle.receipts {
+		if got.Receipts[i] != want {
+			t.Fatalf("receipt %d diverged:\n got %+v\nwant %+v", i, got.Receipts[i], want)
+		}
+	}
+	expect := struct {
+		balances map[string]float64
+		spent    map[string]float64
+		queries  map[string]int
+	}{
+		balances: map[string]float64{},
+		spent:    map[string]float64{},
+		queries:  map[string]int{},
+	}
+	for c, v := range oracle.balances {
+		expect.balances[c] = v
+	}
+	for d, v := range oracle.spent {
+		expect.spent[d] = v
+	}
+	for d, v := range oracle.queries {
+		expect.queries[d] = v
+	}
+	var pendingDeposit *crashOp
+	if len(got.Receipts) == len(oracle.receipts)+1 {
+		extra := got.Receipts[len(oracle.receipts)]
+		if pending == nil || pending.kind == "deposit" {
+			t.Fatalf("extra receipt %+v but no buy was in flight (pending %+v)", extra, pending)
+		}
+		if extra.Customer != pending.customer || extra.Dataset != pending.dataset {
+			t.Fatalf("extra receipt %+v does not match the in-flight buy %+v", extra, pending)
+		}
+		if wantID := int64(len(oracle.receipts)) + 1; extra.ID != wantID {
+			t.Fatalf("extra receipt id %d, want %d (ids stay gapless)", extra.ID, wantID)
+		}
+		expect.balances[extra.Customer] -= extra.Price
+		expect.spent[extra.Dataset] += extra.EpsilonPrime
+		expect.queries[extra.Dataset]++
+	} else if pending != nil && pending.kind == "deposit" {
+		// A deposit in flight at the kill may be durable yet unacked —
+		// possibly for a customer the oracle has never seen (their very
+		// first grant was the op that died).
+		pendingDeposit = pending
+		if _, ok := expect.balances[pending.customer]; !ok {
+			expect.balances[pending.customer] = 0
+		}
+	}
+
+	for c, want := range expect.balances {
+		gotBal := got.Balances[c]
+		if closeEnough(gotBal, want) {
+			continue
+		}
+		if pendingDeposit != nil && c == pendingDeposit.customer && closeEnough(gotBal, want+pendingDeposit.amount) {
+			continue
+		}
+		t.Fatalf("balance[%s] = %v, oracle %v (pending %+v)", c, gotBal, want, pending)
+	}
+	for c, gotBal := range got.Balances {
+		if _, ok := expect.balances[c]; !ok && gotBal != 0 {
+			t.Fatalf("recovered phantom balance %v for %q", gotBal, c)
+		}
+	}
+	for _, ds := range []string{"ozone", "capped"} {
+		s := got.Accountants[ds]
+		if !closeEnough(s.Spent, expect.spent[ds]) {
+			t.Fatalf("accountant[%s].Spent = %v, oracle %v (pending %+v)", ds, s.Spent, expect.spent[ds], pending)
+		}
+		if s.Queries != expect.queries[ds] {
+			t.Fatalf("accountant[%s].Queries = %d, oracle %d", ds, s.Queries, expect.queries[ds])
+		}
+	}
+
+	// The recovered broker must be open for business and keep the id
+	// sequence gapless.
+	if err := rb.Deposit("carol", 25); err != nil {
+		t.Fatalf("recovered broker refused a deposit: %v", err)
+	}
+	resp, err := rb.Buy(Request{Op: "buy", Dataset: "ozone", Customer: "carol", L: 0, U: 200, Alpha: 0.2, Delta: 0.5})
+	if err != nil {
+		t.Fatalf("recovered broker refused a sale: %v", err)
+	}
+	if want := int64(len(got.Receipts)) + 1; resp.Receipt.ID != want {
+		t.Fatalf("post-recovery receipt id %d, want %d (ids stay gapless)", resp.Receipt.ID, want)
+	}
+}

@@ -32,6 +32,14 @@ type Metrics struct {
 	bytesRead      *telemetry.Counter
 	bytesWritten   *telemetry.Counter
 
+	walAppends     *telemetry.Counter
+	walBytes       *telemetry.Counter
+	walFsyncs      *telemetry.Counter
+	walCompactions *telemetry.Counter
+	walRecoveries  *telemetry.Counter
+	walReplayed    *telemetry.Counter
+	walTruncated   *telemetry.Counter
+
 	buyLatency *telemetry.Histogram
 	tracer     *telemetry.Tracer
 }
@@ -62,6 +70,14 @@ func NewMetrics(r *telemetry.Registry, labels ...telemetry.Label) *Metrics {
 		decodeFailures: r.Counter("privrange_market_decode_failures_total", "malformed protocol frames (connection still serving)", labels...),
 		bytesRead:      r.Counter("privrange_market_bytes_read_total", "protocol bytes received", labels...),
 		bytesWritten:   r.Counter("privrange_market_bytes_written_total", "protocol bytes sent", labels...),
+
+		walAppends:     r.Counter("privrange_market_wal_appends_total", "mutation records journaled to the write-ahead log", labels...),
+		walBytes:       r.Counter("privrange_market_wal_bytes_total", "bytes appended to the write-ahead log (framed)", labels...),
+		walFsyncs:      r.Counter("privrange_market_wal_fsyncs_total", "group-commit fsyncs (one may cover many records)", labels...),
+		walCompactions: r.Counter("privrange_market_wal_compactions_total", "log compactions into the snapshot", labels...),
+		walRecoveries:  r.Counter("privrange_market_wal_recoveries_total", "recoveries performed at durability enablement", labels...),
+		walReplayed:    r.Counter("privrange_market_wal_replayed_total", "records applied during recovery replay", labels...),
+		walTruncated:   r.Counter("privrange_market_wal_truncated_bytes_total", "torn-tail bytes truncated during recovery", labels...),
 
 		buyLatency: r.Histogram("privrange_market_buy_seconds", "end-to-end Buy latency (quote, debit, answer, record)", telemetry.LatencyBuckets, labels...),
 		tracer:     r.Tracer(),
@@ -122,6 +138,44 @@ func (m *Metrics) finishBuy(tr *telemetry.Trace, sold bool, price float64) {
 	}
 	m.buyLatency.Observe(tr.Total.Seconds())
 	m.tracer.Record(tr)
+}
+
+// noteWALAppend counts one journaled record and its framed bytes. Only
+// commerce bookkeeping crosses into these counters — record contents
+// (customers, prices) never do.
+func (m *Metrics) noteWALAppend(bytes int) {
+	if m == nil {
+		return
+	}
+	m.walAppends.Inc()
+	m.walBytes.Add(uint64(bytes))
+}
+
+func (m *Metrics) noteWALFsync() {
+	if m == nil {
+		return
+	}
+	m.walFsyncs.Inc()
+}
+
+func (m *Metrics) noteWALCompaction() {
+	if m == nil {
+		return
+	}
+	m.walCompactions.Inc()
+}
+
+// noteWALRecovery records one completed recovery: how many records
+// replay applied and how many torn-tail bytes were truncated.
+func (m *Metrics) noteWALRecovery(replayed int, truncatedBytes int64) {
+	if m == nil {
+		return
+	}
+	m.walRecoveries.Inc()
+	m.walReplayed.Add(uint64(replayed))
+	if truncatedBytes > 0 {
+		m.walTruncated.Add(uint64(truncatedBytes))
+	}
 }
 
 // noteConnOpen / noteConnClose track the live connection gauge.

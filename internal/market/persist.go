@@ -4,16 +4,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"privrange/internal/dp"
 )
 
-// Snapshot is the broker's durable trading state: the ledger and the
-// prepaid balances. Sample state is deliberately excluded — on restart a
-// broker re-collects from the (authoritative) IoT network, while money
-// and receipts must survive.
+// Snapshot is the broker's durable trading state: the ledger, the
+// prepaid balances and each dataset's privacy-accountant bookkeeping.
+// Sample state is deliberately excluded — on restart a broker
+// re-collects from the (authoritative) IoT network, while money,
+// receipts and released ε must survive. The same structure backs the
+// shutdown-time SaveState file and the WAL compaction snapshot.
 type Snapshot struct {
 	Receipts []Receipt          `json:"receipts"`
 	NextID   int64              `json:"next_id"`
 	Balances map[string]float64 `json:"balances,omitempty"`
+	// Accountants maps dataset name → recovered ε bookkeeping, applied
+	// to each dataset's accountant as it registers.
+	Accountants map[string]dp.State `json:"accountants,omitempty"`
+	// LastSeq is the WAL sequence number this snapshot folds in; replay
+	// skips records at or below it (compaction crash safety).
+	LastSeq uint64 `json:"last_seq,omitempty"`
 }
 
 // snapshot extracts the ledger state.
@@ -25,7 +35,9 @@ func (l *Ledger) snapshot() ([]Receipt, int64) {
 	return out, l.nextID
 }
 
-// restore replaces the ledger state.
+// restore replaces the ledger state. Beyond the id discipline it
+// rejects non-finite money and ε: NaN slips past every `< 0` guard and
+// ±Inf poisons every revenue sum downstream.
 func (l *Ledger) restore(receipts []Receipt, nextID int64) error {
 	seen := make(map[int64]bool, len(receipts))
 	for _, r := range receipts {
@@ -36,6 +48,15 @@ func (l *Ledger) restore(receipts []Receipt, nextID int64) error {
 			return fmt.Errorf("market: duplicate receipt id %d", r.ID)
 		}
 		seen[r.ID] = true
+		if !isFinite(r.Price) || r.Price < 0 {
+			return fmt.Errorf("market: receipt %d has invalid price %v", r.ID, r.Price)
+		}
+		if !isFinite(r.EpsilonPrime) || r.EpsilonPrime < 0 {
+			return fmt.Errorf("market: receipt %d has invalid epsilon %v", r.ID, r.EpsilonPrime)
+		}
+		if !isFinite(r.Variance) || r.Variance < 0 {
+			return fmt.Errorf("market: receipt %d has invalid variance %v", r.ID, r.Variance)
+		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -56,14 +77,17 @@ func (w *Wallets) snapshotBalances() map[string]float64 {
 	return out
 }
 
-// restoreBalances replaces the wallet state.
+// restoreBalances replaces the wallet state. Non-finite balances are
+// rejected explicitly: `b < 0` is false for NaN, so a corrupted
+// snapshot with a NaN (or +Inf) balance would otherwise restore
+// "successfully" and then pass every later sufficient-funds check.
 func (w *Wallets) restoreBalances(balances map[string]float64) error {
 	for c, b := range balances {
 		if c == "" {
 			return fmt.Errorf("market: snapshot has an anonymous balance")
 		}
-		if b < 0 {
-			return fmt.Errorf("market: snapshot has negative balance %v for %q", b, c)
+		if !isFinite(b) || b < 0 {
+			return fmt.Errorf("market: snapshot has invalid balance %v for %q", b, c)
 		}
 	}
 	w.mu.Lock()
@@ -75,14 +99,52 @@ func (w *Wallets) restoreBalances(balances map[string]float64) error {
 	return nil
 }
 
-// SaveState serializes the broker's trading state (ledger + wallets) as
-// JSON. Call it on shutdown; RestoreState reloads it after restart.
-func (b *Broker) SaveState(w io.Writer) error {
+// captureStateLocked assembles one consistent Snapshot of ledger,
+// wallets and accountants. Callers hold commitMu exclusively: every
+// mutating operation spans its whole debit→record sequence under the
+// shared side of that lock, so the capture can never observe a sale's
+// debit without its receipt (the torn-snapshot bug this replaces —
+// the old SaveState took the two copies under separate locks and a
+// concurrent Buy could land in between).
+func (b *Broker) captureStateLocked() *Snapshot {
 	receipts, nextID := b.ledger.snapshot()
-	snap := Snapshot{Receipts: receipts, NextID: nextID}
+	snap := &Snapshot{Receipts: receipts, NextID: nextID}
 	if wallets := b.walletStore(); wallets != nil {
 		snap.Balances = wallets.snapshotBalances()
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name, ds := range b.datasets {
+		a := ds.engine.Accountant()
+		if a == nil {
+			continue
+		}
+		if snap.Accountants == nil {
+			snap.Accountants = make(map[string]dp.State)
+		}
+		snap.Accountants[name] = a.Snapshot()
+	}
+	// Budget recovered for datasets that have not re-registered yet
+	// must not be dropped on the floor by a save/restore cycle.
+	for name, state := range b.restored {
+		if snap.Accountants == nil {
+			snap.Accountants = make(map[string]dp.State)
+		}
+		if _, ok := snap.Accountants[name]; !ok {
+			snap.Accountants[name] = state
+		}
+	}
+	return snap
+}
+
+// SaveState serializes the broker's trading state (ledger, wallets,
+// accountants) as JSON at one consistent point: in-flight sales finish
+// first, new ones wait for the copy. Call it on shutdown; RestoreState
+// reloads it after restart.
+func (b *Broker) SaveState(w io.Writer) error {
+	b.commitMu.Lock()
+	snap := b.captureStateLocked()
+	b.commitMu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
@@ -91,26 +153,61 @@ func (b *Broker) SaveState(w io.Writer) error {
 	return nil
 }
 
-// RestoreState loads a snapshot produced by SaveState. Balances restore
-// only when wallets are attached; a snapshot with balances loaded into
-// an invoice-mode broker is rejected so money cannot silently vanish.
+// RestoreState loads a snapshot produced by SaveState into a broker
+// that has not served anything yet — restoring over live books would
+// fork the record, so a broker with recorded sales refuses. Balances
+// restore only when wallets are attached; a snapshot with balances
+// loaded into an invoice-mode broker is rejected so money cannot
+// silently vanish. Accountant state lands on each dataset's accountant
+// as it registers (or immediately for already-registered datasets).
+// Brokers running with EnableDurability recover from the WAL directory
+// instead and refuse this path.
 func (b *Broker) RestoreState(r io.Reader) error {
 	var snap Snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&snap); err != nil {
 		return fmt.Errorf("market: restore state: %w", err)
 	}
-	wallets := b.walletStore()
-	if len(snap.Balances) > 0 && wallets == nil {
+	if err := validateSnapshotNumbers(&snap); err != nil {
+		return err
+	}
+	b.commitMu.Lock()
+	defer b.commitMu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.durable != nil {
+		return fmt.Errorf("market: broker is durable; state restores from the WAL directory, not RestoreState")
+	}
+	if b.ledger.Purchases() > 0 {
+		return fmt.Errorf("market: refusing to restore into a broker that already recorded %d sales", b.ledger.Purchases())
+	}
+	if len(snap.Balances) > 0 && b.wallets == nil {
 		return fmt.Errorf("market: snapshot carries balances but broker has no wallets attached")
 	}
 	if err := b.ledger.restore(snap.Receipts, snap.NextID); err != nil {
 		return err
 	}
-	if wallets != nil && snap.Balances != nil {
-		if err := wallets.restoreBalances(snap.Balances); err != nil {
+	if b.wallets != nil && snap.Balances != nil {
+		if err := b.wallets.restoreBalances(snap.Balances); err != nil {
 			return err
 		}
+	}
+	if b.restored == nil && len(snap.Accountants) > 0 {
+		b.restored = make(map[string]dp.State, len(snap.Accountants))
+	}
+	for name, state := range snap.Accountants {
+		b.restored[name] = state
+	}
+	for name, ds := range b.datasets {
+		state, ok := b.restored[name]
+		a := ds.engine.Accountant()
+		if !ok || a == nil {
+			continue
+		}
+		if err := a.Restore(state); err != nil {
+			return fmt.Errorf("market: dataset %q: %w", name, err)
+		}
+		delete(b.restored, name)
 	}
 	return nil
 }

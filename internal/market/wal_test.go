@@ -1,0 +1,474 @@
+package market
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privrange/internal/core"
+	"privrange/internal/dataset"
+	"privrange/internal/dp"
+	"privrange/internal/iot"
+	"privrange/internal/pricing"
+	"privrange/internal/telemetry"
+)
+
+// durEngine builds a small, fast, deterministic engine with a privacy
+// accountant attached — durability tests care about the books, not the
+// estimates, so the series stays tiny.
+func durEngine(t *testing.T, p dataset.Pollutant, seed int64, budget float64) (*core.Engine, int) {
+	t.Helper()
+	series, err := dataset.GenerateSeries(p, dataset.GenerateConfig{Seed: seed, Records: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := series.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := iot.New(parts, iot.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := dp.NewAccountant(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(nw, core.WithSeed(seed), core.WithAccountant(acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, series.Len()
+}
+
+// durBroker builds a prepaid broker with durability rooted at dir and
+// one accountant-backed dataset, mirroring the production construction
+// order: wallets → EnableDurability → Register.
+func durBroker(t *testing.T, dir string, opts ...DurabilityOption) *Broker {
+	t.Helper()
+	// C=100 keeps prices in single digits for the tiny test series, so
+	// modest deposits fund several sales.
+	b, err := NewBroker(pricing.InverseVariance{C: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AttachWallets(&Wallets{})
+	if err := b.EnableDurability(dir, opts...); err != nil {
+		t.Fatal(err)
+	}
+	eng, n := durEngine(t, dataset.Ozone, 7, 0)
+	if err := b.Register("ozone", eng, n, 4); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func durBuy(t *testing.T, b *Broker, customer string) *Response {
+	t.Helper()
+	resp, err := b.Buy(Request{
+		Op: "buy", Dataset: "ozone", Customer: customer,
+		L: 0, U: 200, Alpha: 0.2, Delta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// stateOf extracts the broker's full durable state through SaveState.
+func stateOf(t *testing.T, b *Broker) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return &snap
+}
+
+// TestDurableRoundTrip: trade, shut down cleanly, recover into a fresh
+// broker — money, receipts and released ε come back bit-identical.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir)
+	if err := b.Deposit("alice", 50); err != nil {
+		t.Fatal(err)
+	}
+	r1 := durBuy(t, b, "alice")
+	r2 := durBuy(t, b, "alice")
+	before := stateOf(t, b)
+	if err := b.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb := durBroker(t, dir)
+	after := stateOf(t, rb)
+	if len(after.Receipts) != 2 || after.Receipts[0] != *r1.Receipt || after.Receipts[1] != *r2.Receipt {
+		t.Fatalf("receipts did not survive: %+v", after.Receipts)
+	}
+	if got, want := after.Balances["alice"], before.Balances["alice"]; got != want {
+		t.Fatalf("balance %v after recovery, want %v", got, want)
+	}
+	if got, want := after.Accountants["ozone"].Spent, r1.EpsilonPrime+r2.EpsilonPrime; got != want {
+		t.Fatalf("recovered Σε′ %v, want %v", got, want)
+	}
+	if got := after.Accountants["ozone"].Queries; got != 2 {
+		t.Fatalf("recovered query count %d, want 2", got)
+	}
+	if rb.Ledger().Purchases() != 2 {
+		t.Fatalf("ledger has %d purchases, want 2", rb.Ledger().Purchases())
+	}
+}
+
+// TestRecoverEmptyDir: enabling durability on a directory with no prior
+// state is a clean start, and an empty (zero-length) WAL file recovers
+// to the same.
+func TestRecoverEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFileName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := durBroker(t, dir)
+	if n := b.Ledger().Purchases(); n != 0 {
+		t.Fatalf("empty WAL recovered %d purchases", n)
+	}
+	if err := b.Deposit("a", 5); err != nil {
+		t.Fatalf("broker not usable after empty recovery: %v", err)
+	}
+}
+
+// walPath appends raw bytes to dir's log for corruption tests.
+func appendWAL(t *testing.T, dir string, raw []byte) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// frameRecord encodes one record the way the WAL does.
+func frameRecord(t *testing.T, r WALRecord) []byte {
+	t.Helper()
+	payload, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame(payload)
+}
+
+// TestRecoverTrailingGarbage: a torn tail (the bytes a crash left
+// half-written) is truncated at the last valid record and the preceding
+// records replay normally.
+func TestRecoverTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "alice", Amount: 40}))
+	appendWAL(t, dir, []byte{0x00, 0x00, 0x00, 0x10, 0xde, 0xad}) // header promises 16 bytes, dies after 2
+
+	b := durBroker(t, dir)
+	if got := b.walletStore().Balance("alice"); got != 40 {
+		t.Fatalf("balance %v, want 40 (valid prefix applied, garbage dropped)", got)
+	}
+	// The tail must be physically gone: the next append lands where the
+	// garbage was, and a second recovery still sees a clean log.
+	if err := b.Deposit("alice", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	rb := durBroker(t, dir)
+	if got := rb.walletStore().Balance("alice"); got != 42 {
+		t.Fatalf("balance %v after second recovery, want 42", got)
+	}
+}
+
+// TestRecoverChecksumMismatchMidFile: a flipped byte in the middle of
+// the log invalidates that record AND everything after it — a valid-
+// looking frame past a corrupt one is not trusted (its provenance is
+// unknowable once the sequence is broken).
+func TestRecoverChecksumMismatchMidFile(t *testing.T) {
+	dir := t.TempDir()
+	first := frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 10})
+	second := frameRecord(t, WALRecord{Seq: 2, Op: opDeposit, Customer: "a", Amount: 20})
+	third := frameRecord(t, WALRecord{Seq: 3, Op: opDeposit, Customer: "a", Amount: 30})
+	second[walHeaderSize+2] ^= 0xff // corrupt the payload; CRC now mismatches
+	appendWAL(t, dir, first)
+	appendWAL(t, dir, second)
+	appendWAL(t, dir, third)
+
+	b := durBroker(t, dir)
+	if got := b.walletStore().Balance("a"); got != 10 {
+		t.Fatalf("balance %v, want 10 (only the prefix before the corruption)", got)
+	}
+}
+
+// TestRecoverSnapshotPlusWAL: records at or below the snapshot's
+// LastSeq are already folded in and must not double-apply — the state a
+// crash between compaction's snapshot rename and log truncate leaves.
+func TestRecoverSnapshotPlusWAL(t *testing.T) {
+	dir := t.TempDir()
+	snap := &Snapshot{
+		Balances: map[string]float64{"a": 100},
+		LastSeq:  2,
+	}
+	if err := writeSnapshotFile(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 60}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 2, Op: opDeposit, Customer: "a", Amount: 40}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 3, Op: opDeposit, Customer: "a", Amount: 5}))
+
+	b := durBroker(t, dir)
+	if got := b.walletStore().Balance("a"); got != 105 {
+		t.Fatalf("balance %v, want 105 (snapshot 100 + only seq 3)", got)
+	}
+}
+
+// TestReplaySkipsDanglingSale: a debit and spend with no receipt is a
+// sale that crashed before release — the customer keeps the money and
+// the budget stays unspent. A refunded sale nets to zero.
+func TestReplaySkipsDanglingSale(t *testing.T) {
+	dir := t.TempDir()
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 50}))
+	// Sale 1: dangling (no commit record).
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 2, Op: opDebit, Sale: 1, Customer: "a", Amount: 7}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 3, Op: opSpend, Sale: 1, Dataset: "ozone", Epsilon: 0.5}))
+	// Sale 2: explicitly refunded.
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 4, Op: opDebit, Sale: 2, Customer: "a", Amount: 9}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 5, Op: opRefund, Sale: 2, Customer: "a", Amount: 9}))
+
+	b := durBroker(t, dir)
+	if got := b.walletStore().Balance("a"); got != 50 {
+		t.Fatalf("balance %v, want 50 (dangling debit skipped, refund netted)", got)
+	}
+	snap := stateOf(t, b)
+	if s := snap.Accountants["ozone"]; s.Spent != 0 || s.Queries != 0 {
+		t.Fatalf("uncommitted spend leaked into the accountant: %+v", s)
+	}
+	// A fresh sale must not adopt sale id 1 or 2 and thereby commit the
+	// dangling debit on the NEXT replay.
+	if err := b.Deposit("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	durBuy(t, b, "a")
+	if err := b.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	rb := durBroker(t, dir)
+	if rb.Ledger().Purchases() != 1 {
+		t.Fatalf("purchases %d after second recovery, want 1", rb.Ledger().Purchases())
+	}
+}
+
+// TestEnableDurabilityRefusals: durability must attach before the
+// broker serves (restoring over live books forks the record), only
+// once, and never drop recovered money on the floor.
+func TestEnableDurabilityRefusals(t *testing.T) {
+	t.Run("already served", func(t *testing.T) {
+		b, _ := buildBroker(t, pricing.InverseVariance{C: 1e9})
+		if _, err := b.Buy(Request{Op: "buy", Dataset: "ozone", Customer: "c", L: 0, U: 200, Alpha: 0.2, Delta: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.EnableDurability(t.TempDir()); err == nil {
+			t.Fatal("enabling durability on a broker with recorded sales must fail")
+		}
+	})
+	t.Run("twice", func(t *testing.T) {
+		dir := t.TempDir()
+		b := durBroker(t, dir)
+		if err := b.EnableDurability(dir); err == nil {
+			t.Fatal("second EnableDurability must fail")
+		}
+	})
+	t.Run("balances without wallets", func(t *testing.T) {
+		dir := t.TempDir()
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 5}))
+		b, err := NewBroker(pricing.InverseVariance{C: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.EnableDurability(dir); err == nil {
+			t.Fatal("recovered balances with no wallets attached must fail, not vanish")
+		}
+	})
+	t.Run("restore-state refused when durable", func(t *testing.T) {
+		b := durBroker(t, t.TempDir())
+		var buf bytes.Buffer
+		if err := b.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RestoreState(&buf); err == nil {
+			t.Fatal("RestoreState into a durable broker must fail")
+		}
+	})
+}
+
+// TestGroupCommit: one sale journals three records (debit, spend,
+// receipt) but pays exactly one fsync.
+func TestGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir)
+	if err := b.Deposit("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	var appends, fsyncs int
+	b.durableStore().wal.hook = func(p walCrashPoint, n int) (int, bool) {
+		switch p {
+		case crashAppend:
+			appends++
+		case crashSyncFsync:
+			fsyncs++
+		}
+		return 0, false
+	}
+	durBuy(t, b, "a")
+	if appends != 3 || fsyncs != 1 {
+		t.Fatalf("one sale cost %d appends and %d fsyncs, want 3 and 1 (group commit)", appends, fsyncs)
+	}
+}
+
+// TestCompaction: a tiny threshold forces the log to fold into the
+// snapshot mid-run; the books still recover exactly.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir, WithCompactionThreshold(64))
+	m := NewMetrics(telemetry.NewRegistry())
+	b.SetTelemetry(m)
+	if err := b.Deposit("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	var receipts []Receipt
+	for i := 0; i < 3; i++ {
+		receipts = append(receipts, *durBuy(t, b, "a").Receipt)
+	}
+	if got := m.walCompactions.Value(); got == 0 {
+		t.Fatal("no compaction ran despite the 64-byte threshold")
+	}
+	want := stateOf(t, b)
+	if err := b.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	// After a clean close the log is empty: everything lives in the
+	// snapshot.
+	raw, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Fatalf("log holds %d bytes after clean close, want 0 (compacted)", len(raw))
+	}
+	rb := durBroker(t, dir, WithCompactionThreshold(64))
+	got := stateOf(t, rb)
+	if got.Balances["a"] != want.Balances["a"] {
+		t.Fatalf("balance %v, want %v", got.Balances["a"], want.Balances["a"])
+	}
+	if len(got.Receipts) != len(receipts) {
+		t.Fatalf("%d receipts, want %d", len(got.Receipts), len(receipts))
+	}
+	for i := range receipts {
+		if got.Receipts[i] != receipts[i] {
+			t.Fatalf("receipt %d diverged: %+v vs %+v", i, got.Receipts[i], receipts[i])
+		}
+	}
+	if got.Accountants["ozone"] != want.Accountants["ozone"] {
+		t.Fatalf("accountant %+v, want %+v", got.Accountants["ozone"], want.Accountants["ozone"])
+	}
+}
+
+// TestDecodeWAL exercises the frame scanner's stop conditions directly.
+func TestDecodeWAL(t *testing.T) {
+	good := frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 1})
+	cases := []struct {
+		name  string
+		raw   []byte
+		want  int
+		valid int64
+	}{
+		{"empty", nil, 0, 0},
+		{"one record", good, 1, int64(len(good))},
+		{"short header", append(append([]byte{}, good...), 0x00, 0x01), 1, int64(len(good))},
+		{"absurd length", append(append([]byte{}, good...), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0), 1, int64(len(good))},
+		{"zero length", append(append([]byte{}, good...), 0, 0, 0, 0, 0, 0, 0, 0), 1, int64(len(good))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, valid := decodeWAL(tc.raw)
+			if len(recs) != tc.want || valid != tc.valid {
+				t.Fatalf("decodeWAL: %d records valid to %d, want %d to %d", len(recs), valid, tc.want, tc.valid)
+			}
+		})
+	}
+	t.Run("bad crc", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		binary.BigEndian.PutUint32(bad[4:8], crc32.ChecksumIEEE([]byte("nope")))
+		recs, valid := decodeWAL(bad)
+		if len(recs) != 0 || valid != 0 {
+			t.Fatalf("corrupt checksum accepted: %d records", len(recs))
+		}
+	})
+}
+
+// TestReplayRejectsCorruptValues: replay refuses records whose money or
+// ε fields are NaN/Inf/negative rather than folding poison into the
+// books.
+func TestReplayRejectsCorruptValues(t *testing.T) {
+	cases := []WALRecord{
+		{Seq: 1, Op: opDeposit, Customer: "a", Amount: math.NaN()},
+		{Seq: 1, Op: opDeposit, Customer: "a", Amount: math.Inf(1)},
+		{Seq: 1, Op: opDeposit, Customer: "a", Amount: -3},
+		{Seq: 1, Op: opDeposit, Customer: "", Amount: 3},
+		{Seq: 1, Op: opRefund, Sale: 1, Customer: "a", Amount: math.NaN()},
+		{Seq: 1, Op: "warp", Customer: "a", Amount: 3},
+		{Seq: 1, Op: opReceipt, Sale: 1},
+	}
+	for _, rec := range cases {
+		if _, err := replay(&Snapshot{}, []WALRecord{rec}); err == nil {
+			t.Errorf("replay accepted corrupt record %+v", rec)
+		}
+	}
+	// A sequence regression (records out of order) is corruption too.
+	_, err := replay(&Snapshot{}, []WALRecord{
+		{Seq: 2, Op: opDeposit, Customer: "a", Amount: 1},
+		{Seq: 1, Op: opDeposit, Customer: "a", Amount: 1},
+	})
+	if err == nil {
+		t.Error("replay accepted a sequence regression")
+	}
+}
+
+// TestWALDeadAfterCrash: once the log dies, every further mutation is
+// refused — the broker cannot silently diverge from its journal.
+func TestWALDeadAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir)
+	if err := b.Deposit("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	b.durableStore().wal.hook = func(p walCrashPoint, n int) (int, bool) {
+		return 0, p == crashSyncFsync
+	}
+	if err := b.Deposit("a", 5); !errors.Is(err, errWALCrashed) {
+		t.Fatalf("deposit over a dying WAL returned %v, want errWALCrashed", err)
+	}
+	if _, err := b.Buy(Request{Op: "buy", Dataset: "ozone", Customer: "a", L: 0, U: 200, Alpha: 0.2, Delta: 0.5}); !errors.Is(err, errWALCrashed) {
+		t.Fatalf("buy over a dead WAL returned %v, want errWALCrashed", err)
+	}
+	// In-memory balance matches what the customer was told: the failed
+	// deposit rolled back.
+	if got := b.walletStore().Balance("a"); got != 50 {
+		t.Fatalf("balance %v after refused mutations, want 50", got)
+	}
+}

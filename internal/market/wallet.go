@@ -71,6 +71,20 @@ func (w *Wallets) refund(customer string, amount float64) {
 	w.balances[customer] += amount
 }
 
+// applyDelta adjusts a balance directly, without validation or
+// journaling. It exists for WAL replay and for rolling back a mutation
+// whose journaling failed — ordinary call sites use Deposit/debit/
+// refund, which the waldebit analyzer holds to the journal-before-ack
+// discipline.
+func (w *Wallets) applyDelta(customer string, delta float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.balances == nil {
+		w.balances = make(map[string]float64)
+	}
+	w.balances[customer] += delta
+}
+
 // Customers lists account holders in name order.
 func (w *Wallets) Customers() []string {
 	w.mu.Lock()

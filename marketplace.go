@@ -259,12 +259,13 @@ func (m *Marketplace) EnablePrepaid() {
 }
 
 // Deposit credits a prepaid customer account. It returns an error when
-// prepaid mode is not enabled.
+// prepaid mode is not enabled. With durability on, the grant is
+// journaled and fsynced before this returns.
 func (m *Marketplace) Deposit(customer string, amount float64) error {
 	if m.wallets == nil {
 		return fmt.Errorf("privrange: marketplace runs in invoice mode; call EnablePrepaid first")
 	}
-	return m.wallets.Deposit(customer, amount)
+	return m.broker.Deposit(customer, amount)
 }
 
 // Balance returns a prepaid customer's balance (0 in invoice mode).
@@ -321,13 +322,35 @@ func (m *Marketplace) SetCustomerPrivacyCap(epsilon float64) error {
 	return m.broker.SetCustomerPrivacyCap(epsilon)
 }
 
-// SaveState serializes the marketplace's trading state (ledger and
-// prepaid balances) as JSON for restart durability.
+// SaveState serializes the marketplace's trading state (ledger,
+// prepaid balances, per-dataset ε bookkeeping) as JSON for restart
+// durability. The capture is consistent: in-flight purchases complete
+// first, so a receipt never appears without its debit or vice versa.
 func (m *Marketplace) SaveState(w io.Writer) error { return m.broker.SaveState(w) }
 
 // RestoreState reloads a snapshot produced by SaveState. Enable prepaid
-// mode first when the snapshot carries balances.
+// mode first when the snapshot carries balances. It refuses a
+// marketplace that already recorded sales.
 func (m *Marketplace) RestoreState(r io.Reader) error { return m.broker.RestoreState(r) }
+
+// EnableDurability turns on crash-consistent accounting: every wallet
+// deposit, sale debit, ε spend and receipt is appended to a
+// write-ahead log under dir and fsynced (group commit) before the
+// operation is acknowledged, and the log periodically compacts into an
+// atomically-replaced snapshot. Any state a previous incarnation left
+// in dir is recovered first — money, receipts and released ε come back
+// exactly once, even after a crash mid-sale. Call it on a marketplace
+// that has not sold anything yet, after EnablePrepaid (recovered
+// balances need wallets) and before AddDataset (each dataset's Σε′
+// restores as it registers).
+func (m *Marketplace) EnableDurability(dir string) error {
+	return m.broker.EnableDurability(dir)
+}
+
+// CloseDurability compacts the log into the snapshot and closes the
+// WAL; call on clean shutdown so the next boot recovers from the
+// snapshot alone. The marketplace refuses further mutations afterwards.
+func (m *Marketplace) CloseDurability() error { return m.broker.CloseDurability() }
 
 // Revenue returns the broker's total take so far.
 func (m *Marketplace) Revenue() float64 { return m.broker.Ledger().Revenue() }
