@@ -116,7 +116,7 @@ chaos:
 # regression, and the accountant snapshot/restore unit tests. See
 # DESIGN.md §12 for the durability model these prove.
 durability:
-	$(GO) test -race -run 'TestCrashPoint|TestWAL|TestRecover|TestReplay|TestDurable|TestEnableDurability|TestGroupCommit|TestCompaction|TestDecodeWAL|TestConcurrentSaveVsBuy|TestRestoreRejects|TestRestoreRefuses|TestAccountant' ./internal/market/ ./internal/dp/
+	$(GO) test -race -run 'TestCrashPoint|TestWAL|TestRecover|TestReplay|TestDurable|TestEnableDurability|TestGroupCommit|TestCompaction|TestDecodeWAL|TestConcurrentSaveVsBuy|TestConcurrentDurableBuysRecover|TestWithheldSpendSurvivesRestart|TestDepositCreditAfterDurable|TestDepositRejectsNonFinite|TestRestoreRejects|TestRestoreRefuses|TestAccountant' ./internal/market/ ./internal/dp/
 
 # shard runs the sharded scale-out gate under the race detector: the
 # shard-count determinism suite (answers bit-identical to the

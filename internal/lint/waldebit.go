@@ -23,9 +23,9 @@ import (
 // exempt: internal/dp (the accountant IS the mutated state) and
 // internal/core (the engine charges the accountant inside the release
 // path; the broker journals that spend at the market layer, where the
-// sale's identity lives). Replay-side restore helpers (restore*,
-// applyDelta) are deliberately NOT in the mutator list: recovery is the
-// one writer that works from the log instead of ahead of it.
+// sale's identity lives). Replay-side restore helpers (restore*) are
+// deliberately NOT in the mutator list: recovery is the one writer
+// that works from the log instead of ahead of it.
 var WALDebit = &Analyzer{
 	Name: "waldebit",
 	Doc: `require a write-ahead-log append alongside every trading-book

@@ -32,6 +32,14 @@ type Broker struct {
 	// so a captured snapshot can never see a debit whose receipt has not
 	// landed yet (the torn-snapshot bug).
 	commitMu sync.RWMutex
+	// recordMu makes receipt-id assignment and the receipt's WAL append
+	// one critical section. Concurrent sales hold commitMu only in
+	// shared mode, so without this lock two sales could journal their
+	// receipts out of id order and a torn tail could cut an id-prefix
+	// instead of an id-suffix. Replay also tolerates out-of-order
+	// receipts (logs written by older brokers), but keeping the log in
+	// id order preserves the gapless-suffix truncation story.
+	recordMu sync.Mutex
 	// durable, when non-nil, write-ahead-logs every mutation before it
 	// is acknowledged (see wal.go / recover.go). Guarded by mu.
 	durable *durability
@@ -273,15 +281,27 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 	// released) when this sale would push the customer's cumulative Σε′
 	// on the dataset past the cap. The dataset-wide accountant has
 	// already been charged — conservative by design: a withheld answer
-	// still consumed broker-side randomness.
+	// still consumed broker-side randomness — so the spend is journaled
+	// even though the sale never commits.
 	if cap := b.customerPrivacyCap(); cap > 0 {
 		spent := b.ledger.PrivacySpentByCustomer(req.Customer, req.Dataset)
 		if spent+ans.Plan.EpsilonPrime > cap {
-			b.rollbackSale(wallets, sale, req.Customer, price)
+			if err := b.withholdSale(wallets, sale, req, price, ans.Plan.EpsilonPrime); err != nil {
+				return nil, 0, err
+			}
 			return nil, 0, fmt.Errorf("market: customer %q would exceed the per-customer privacy cap on %q (%.4f + %.4f > %.4f)",
 				req.Customer, req.Dataset, spent, ans.Plan.EpsilonPrime, cap)
 		}
 	}
+	// Receipt-id assignment and the receipt's WAL append must be one
+	// critical section (see recordMu): journal the ε spend and the
+	// receipt (the sale's commit record) under it, then group-commit —
+	// the answer is not released until the whole sale is durable. On a
+	// journaling failure the in-memory books keep the sale (they stay
+	// internally balanced) but the customer gets an error and the WAL
+	// refuses all further mutations — after restart, replay sees no
+	// commit record and restores the customer's money.
+	b.recordMu.Lock()
 	receipt := b.ledger.Record(Receipt{
 		Customer:     req.Customer,
 		Dataset:      req.Dataset,
@@ -294,18 +314,15 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 		EpsilonPrime: ans.Plan.EpsilonPrime,
 		Coverage:     ans.Coverage,
 	})
+	spendErr := b.journal(WALRecord{Op: opSpend, Sale: sale, Dataset: req.Dataset, Epsilon: ans.Plan.EpsilonPrime})
+	receiptErr := b.journal(WALRecord{Op: opReceipt, Sale: sale, Receipt: &receipt})
+	b.recordMu.Unlock()
 	tr.Mark("record")
-	// Journal the ε spend and the receipt (the sale's commit record),
-	// then group-commit: the answer is not released until the whole
-	// sale is durable. On a journaling failure the in-memory books keep
-	// the sale (they stay internally balanced) but the customer gets an
-	// error and the WAL refuses all further mutations — after restart,
-	// replay sees no commit record and restores the customer's money.
-	if err := b.journal(WALRecord{Op: opSpend, Sale: sale, Dataset: req.Dataset, Epsilon: ans.Plan.EpsilonPrime}); err != nil {
-		return nil, 0, err
+	if spendErr != nil {
+		return nil, 0, spendErr
 	}
-	if err := b.journal(WALRecord{Op: opReceipt, Sale: sale, Receipt: &receipt}); err != nil {
-		return nil, 0, err
+	if receiptErr != nil {
+		return nil, 0, receiptErr
 	}
 	if err := b.journalSync(); err != nil {
 		return nil, 0, err
@@ -342,32 +359,53 @@ func (b *Broker) rollbackSale(wallets *Wallets, sale uint64, customer string, pr
 	b.journalSync() //nolint:errcheck — see above: replay is refund-equivalent either way
 }
 
+// withholdSale resolves a sale whose answer was computed but withheld
+// by the per-customer cap. Unlike the answer-failure rollback, the
+// dataset accountant HAS been charged here, so the ε spend is journaled
+// as a spend-withheld record (applied unconditionally on replay) before
+// the refund resolves the sale, and journaling failures surface to the
+// caller instead of being best-effort: silently acking a rejection
+// whose spend never became durable would let a restart refund budget
+// the live accountant treats as spent.
+func (b *Broker) withholdSale(wallets *Wallets, sale uint64, req Request, price, eps float64) error {
+	if wallets != nil {
+		wallets.refund(req.Customer, price)
+	}
+	if err := b.journal(WALRecord{Op: opSpendHeld, Sale: sale, Dataset: req.Dataset, Epsilon: eps}); err != nil {
+		return err
+	}
+	if wallets != nil {
+		if err := b.journal(WALRecord{Op: opRefund, Sale: sale, Customer: req.Customer, Amount: price}); err != nil {
+			return err
+		}
+	}
+	return b.journalSync()
+}
+
 // Deposit credits a prepaid customer account durably: the grant is
-// journaled and fsynced before it is acknowledged. It fails in invoice
-// mode (no wallets attached).
+// journaled and fsynced before the balance moves, so a debit can never
+// consume funds whose journaling later fails (the old credit-first
+// order let a concurrent Buy spend an undurable grant, and the rollback
+// then drove the balance negative). A crash after the fsync but before
+// the credit is the usual durable-but-unacked gap: replay applies the
+// grant. It fails in invoice mode (no wallets attached).
 func (b *Broker) Deposit(customer string, amount float64) error {
 	w := b.walletStore()
 	if w == nil {
 		return fmt.Errorf("market: broker runs in invoice mode (no wallets attached)")
 	}
+	if err := checkDeposit(customer, amount); err != nil {
+		return err
+	}
 	b.commitMu.RLock()
 	err := func() error {
-		if err := w.Deposit(customer, amount); err != nil {
-			return err
-		}
 		if err := b.journal(WALRecord{Op: opDeposit, Customer: customer, Amount: amount}); err != nil {
-			w.applyDelta(customer, -amount)
 			return err
 		}
 		if err := b.journalSync(); err != nil {
-			// The grant may or may not have hit the disk before the
-			// failure; the in-memory rollback matches the conservative
-			// outcome the customer was told (deposit failed). Replay
-			// decides from what actually landed.
-			w.applyDelta(customer, -amount)
 			return err
 		}
-		return nil
+		return w.Deposit(customer, amount)
 	}()
 	b.commitMu.RUnlock()
 	if err == nil {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 
 	"privrange/internal/dp"
@@ -23,6 +24,14 @@ import (
 //   - A debit/refund pair (a sale that failed after charging) nets to
 //     zero through the same two float operations the live run performed,
 //     keeping balances bit-identical to an uncrashed run.
+//   - A spend-withheld record (a sale answered but withheld by the
+//     per-customer cap) applies unconditionally: the live accountant was
+//     charged even though no receipt ever commits the sale, and replay
+//     must not refund budget the live run treats as spent.
+//   - Receipts may arrive out of id order (concurrent sales in logs
+//     written before id assignment and the receipt append shared a
+//     critical section); replay enforces uniqueness and folds them in
+//     id order rather than rejecting the log.
 //   - Deposits are standalone and always apply.
 //   - Records with Seq ≤ Snapshot.LastSeq are skipped: a crash between
 //     compaction's snapshot rename and the log truncate must not
@@ -114,9 +123,21 @@ func writeSnapshotFile(dir string, snap *Snapshot) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("market: rename snapshot: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	// The directory fsync is what makes the rename itself durable; a
+	// failure here must fail the compaction (the caller then leaves the
+	// WAL intact), not silently report a snapshot that power loss could
+	// revert.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("market: open dir for snapshot fsync: %w", err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("market: fsync snapshot dir: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("market: close snapshot dir: %w", closeErr)
 	}
 	return nil
 }
@@ -156,6 +177,13 @@ func replay(snap *Snapshot, records []WALRecord) (*replayed, error) {
 	// refunded (the live run rolled the debit back itself).
 	committed := make(map[uint64]bool)
 	refunded := make(map[uint64]bool)
+	// Receipts journaled by concurrent sales can appear out of id order
+	// in older logs (id assignment and the WAL append used to be
+	// separate critical sections), so they are collected, checked for
+	// uniqueness, and sorted by id at the end instead of being required
+	// to arrive monotonically.
+	var walReceipts []Receipt
+	seenIDs := make(map[int64]bool)
 	lastSeq := snap.LastSeq
 	for _, r := range records {
 		if r.Seq <= snap.LastSeq {
@@ -211,38 +239,64 @@ func replay(snap *Snapshot, records []WALRecord) (*replayed, error) {
 			if !committed[r.Sale] {
 				continue // never released, so no exposure to account
 			}
-			if r.Dataset == "" || !isFinite(r.Epsilon) || r.Epsilon < 0 {
-				return nil, fmt.Errorf("market: wal record %d: invalid spend %v on %q", r.Seq, r.Epsilon, r.Dataset)
+			if err := applySpend(out, r); err != nil {
+				return nil, err
 			}
-			s := out.accountants[r.Dataset]
-			s.Spent += r.Epsilon
-			s.Queries++
-			out.accountants[r.Dataset] = s
-			out.applied++
+		case opSpendHeld:
+			// A withheld sale's charge: the live accountant was debited
+			// even though the answer was never released, so the spend
+			// applies regardless of the sale's commit/refund fate.
+			if err := applySpend(out, r); err != nil {
+				return nil, err
+			}
 		case opReceipt:
 			if r.Receipt == nil {
 				return nil, fmt.Errorf("market: wal record %d: receipt op without a receipt", r.Seq)
 			}
 			rec := *r.Receipt
-			if rec.ID <= out.nextID {
-				return nil, fmt.Errorf("market: wal record %d: receipt id %d not past %d", r.Seq, rec.ID, out.nextID)
+			if rec.ID <= snap.NextID {
+				return nil, fmt.Errorf("market: wal record %d: receipt id %d not past the snapshot's %d", r.Seq, rec.ID, snap.NextID)
+			}
+			if seenIDs[rec.ID] {
+				return nil, fmt.Errorf("market: wal record %d: duplicate receipt id %d", r.Seq, rec.ID)
 			}
 			if !isFinite(rec.Price) || !isFinite(rec.EpsilonPrime) || !isFinite(rec.Variance) {
 				return nil, fmt.Errorf("market: wal record %d: receipt %d has non-finite price/ε/variance", r.Seq, rec.ID)
 			}
-			out.receipts = append(out.receipts, rec)
-			out.nextID = rec.ID
+			seenIDs[rec.ID] = true
+			walReceipts = append(walReceipts, rec)
+			if rec.ID > out.nextID {
+				out.nextID = rec.ID
+			}
 			out.applied++
 		default:
 			return nil, fmt.Errorf("market: wal record %d: unknown op %q", r.Seq, r.Op)
 		}
 	}
+	// Fold the replayed receipts in ledger (id) order; a torn tail in a
+	// concurrent log can leave a gap, which Ledger.restore accepts.
+	sort.Slice(walReceipts, func(i, j int) bool { return walReceipts[i].ID < walReceipts[j].ID })
+	out.receipts = append(out.receipts, walReceipts...)
 	for c, b := range out.balances {
 		if !isFinite(b) || b < 0 {
 			return nil, fmt.Errorf("market: replay left balance %v for %q", b, c)
 		}
 	}
 	return out, nil
+}
+
+// applySpend validates and folds one ε-spend record (committed sale or
+// withheld answer) into the replayed accountant state.
+func applySpend(out *replayed, r WALRecord) error {
+	if r.Dataset == "" || !isFinite(r.Epsilon) || r.Epsilon < 0 {
+		return fmt.Errorf("market: wal record %d: invalid spend %v on %q", r.Seq, r.Epsilon, r.Dataset)
+	}
+	s := out.accountants[r.Dataset]
+	s.Spent += r.Epsilon
+	s.Queries++
+	out.accountants[r.Dataset] = s
+	out.applied++
+	return nil
 }
 
 // saleResolved reports whether a sale's fate is on disk: committed or

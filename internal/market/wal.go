@@ -32,13 +32,19 @@ import (
 
 // WAL operation codes. Deposit is the prepaid grant; debit/refund/spend/
 // receipt together journal one sale, linked by the Sale id, with the
-// receipt acting as the sale's commit record.
+// receipt acting as the sale's commit record. Spend-withheld journals
+// the ε charge of a sale whose answer was computed but withheld (the
+// per-customer cap): the dataset accountant was charged even though no
+// receipt will ever commit the sale, so replay applies it
+// unconditionally — otherwise a restart would silently refund budget
+// the live accountant treats as spent.
 const (
-	opDeposit = "deposit"
-	opDebit   = "debit"
-	opRefund  = "refund"
-	opSpend   = "spend"
-	opReceipt = "receipt"
+	opDeposit   = "deposit"
+	opDebit     = "debit"
+	opRefund    = "refund"
+	opSpend     = "spend"
+	opSpendHeld = "spend-withheld"
+	opReceipt   = "receipt"
 )
 
 // WALRecord is one journaled state mutation.

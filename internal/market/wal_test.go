@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"privrange/internal/core"
@@ -446,6 +448,272 @@ func TestReplayRejectsCorruptValues(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("replay accepted a sequence regression")
+	}
+}
+
+// walReceipt builds a minimal valid receipt for hand-crafted logs.
+func walReceipt(id int64, customer string, price, eps float64) *Receipt {
+	return &Receipt{ID: id, Customer: customer, Dataset: "ozone", U: 200, Alpha: 0.2, Delta: 0.5, Variance: 1, Price: price, EpsilonPrime: eps, Coverage: 1}
+}
+
+// TestReplayOutOfOrderReceipts: two concurrent sales can journal their
+// receipts out of id order (id assignment and the WAL append were
+// separate critical sections). Recovery must fold such a log in id
+// order instead of rejecting it — the regression that permanently
+// locked a broker out of its own valid state.
+func TestReplayOutOfOrderReceipts(t *testing.T) {
+	dir := t.TempDir()
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 50}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 2, Op: opDebit, Sale: 1, Customer: "a", Amount: 5}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 3, Op: opDebit, Sale: 2, Customer: "a", Amount: 7}))
+	// Sale 2 wins the journaling race: its receipt (id 2) lands first.
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 4, Op: opReceipt, Sale: 2, Receipt: walReceipt(2, "a", 7, 0.4)}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 5, Op: opSpend, Sale: 1, Dataset: "ozone", Epsilon: 0.3}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 6, Op: opReceipt, Sale: 1, Receipt: walReceipt(1, "a", 5, 0.3)}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 7, Op: opSpend, Sale: 2, Dataset: "ozone", Epsilon: 0.4}))
+
+	b := durBroker(t, dir)
+	if got := b.Ledger().Purchases(); got != 2 {
+		t.Fatalf("recovered %d purchases, want 2", got)
+	}
+	recs := b.Ledger().Receipts()
+	if recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("recovered receipt order [%d %d], want [1 2]", recs[0].ID, recs[1].ID)
+	}
+	if got := b.walletStore().Balance("a"); got != 38 {
+		t.Fatalf("balance %v, want 38", got)
+	}
+	snap := stateOf(t, b)
+	if s := snap.Accountants["ozone"]; !closeEnough(s.Spent, 0.7) || s.Queries != 2 {
+		t.Fatalf("accountant %+v, want {0.7, 2}", s)
+	}
+	// The id sequence continues past the replayed maximum.
+	if err := b.Deposit("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	if resp := durBuy(t, b, "a"); resp.Receipt.ID != 3 {
+		t.Fatalf("next receipt id %d, want 3", resp.Receipt.ID)
+	}
+}
+
+// TestReplayReceiptGap: a torn tail in a concurrent log can lose a
+// lower-id receipt while a higher-id one survives. The surviving sale
+// must recover (its customer was possibly acked) and the lost sale's
+// debit must dangle harmlessly.
+func TestReplayReceiptGap(t *testing.T) {
+	dir := t.TempDir()
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 50}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 2, Op: opDebit, Sale: 1, Customer: "a", Amount: 5}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 3, Op: opDebit, Sale: 2, Customer: "a", Amount: 7}))
+	appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 4, Op: opReceipt, Sale: 2, Receipt: walReceipt(2, "a", 7, 0.4)}))
+	// Sale 1's receipt (id 1) was torn off the tail.
+
+	b := durBroker(t, dir)
+	if got := b.Ledger().Purchases(); got != 1 {
+		t.Fatalf("recovered %d purchases, want 1", got)
+	}
+	if got := b.walletStore().Balance("a"); got != 43 {
+		t.Fatalf("balance %v, want 43 (sale 2 committed, sale 1 dangling)", got)
+	}
+	if err := b.Deposit("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if resp := durBuy(t, b, "a"); resp.Receipt.ID != 3 {
+		t.Fatalf("next receipt id %d, want 3 (past the replayed maximum)", resp.Receipt.ID)
+	}
+}
+
+// TestConcurrentDurableBuysRecover hammers the durable buy path from
+// many goroutines, then recovers crash-style (no clean close, straight
+// from the live WAL bytes). Before receipt-id assignment and the WAL
+// append shared a critical section, two racing sales could journal
+// receipts out of id order and recovery would refuse the valid log.
+func TestConcurrentDurableBuysRecover(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir)
+	const customers, buysEach = 4, 3
+	deposited := 0.0
+	for c := 0; c < customers; c++ {
+		if err := b.Deposit(fmt.Sprintf("c%d", c), 100); err != nil {
+			t.Fatal(err)
+		}
+		deposited += 100
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < customers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < buysEach; i++ {
+				if _, err := b.Buy(Request{
+					Op: "buy", Dataset: "ozone", Customer: fmt.Sprintf("c%d", c),
+					L: 0, U: 200, Alpha: 0.2, Delta: 0.5,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// No CloseDurability: recovery starts from whatever the group
+	// commits made durable, the way a kill -9 leaves it.
+	rb := durBroker(t, dir)
+	if got, want := rb.Ledger().Purchases(), customers*buysEach; got != want {
+		t.Fatalf("recovered %d purchases, want %d", got, want)
+	}
+	recs := rb.Ledger().Receipts()
+	for i, r := range recs {
+		if r.ID != int64(i)+1 {
+			t.Fatalf("receipt %d has id %d, want %d (unique, gapless, id-ordered)", i, r.ID, i+1)
+		}
+	}
+	// Money conservation: every coin is either still in a wallet or in
+	// the ledger's revenue.
+	total := rb.Ledger().Revenue()
+	for _, c := range rb.walletStore().Customers() {
+		total += rb.walletStore().Balance(c)
+	}
+	if !closeEnough(total, deposited) {
+		t.Fatalf("recovered books hold %v, deposited %v", total, deposited)
+	}
+}
+
+// TestReplayRejectsDuplicateReceiptIDs: order tolerance must not admit
+// the same receipt id twice.
+func TestReplayRejectsDuplicateReceiptIDs(t *testing.T) {
+	_, err := replay(&Snapshot{}, []WALRecord{
+		{Seq: 1, Op: opReceipt, Sale: 1, Receipt: walReceipt(1, "a", 5, 0.3)},
+		{Seq: 2, Op: opReceipt, Sale: 2, Receipt: walReceipt(1, "b", 7, 0.4)},
+	})
+	if err == nil {
+		t.Fatal("replay accepted a duplicate receipt id")
+	}
+}
+
+// TestReplayAppliesWithheldSpend: a spend-withheld record applies even
+// though its sale never commits — with a refund (the acked rejection)
+// and without one (a crash mid-rollback, where the conservative charge
+// still stands).
+func TestReplayAppliesWithheldSpend(t *testing.T) {
+	t.Run("refunded", func(t *testing.T) {
+		dir := t.TempDir()
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 50}))
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 2, Op: opDebit, Sale: 1, Customer: "a", Amount: 5}))
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 3, Op: opSpendHeld, Sale: 1, Dataset: "ozone", Epsilon: 0.3}))
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 4, Op: opRefund, Sale: 1, Customer: "a", Amount: 5}))
+
+		b := durBroker(t, dir)
+		if got := b.walletStore().Balance("a"); got != 50 {
+			t.Fatalf("balance %v, want 50 (debit/refund nets to zero)", got)
+		}
+		snap := stateOf(t, b)
+		if s := snap.Accountants["ozone"]; !closeEnough(s.Spent, 0.3) || s.Queries != 1 {
+			t.Fatalf("withheld spend lost on replay: %+v, want {0.3, 1}", s)
+		}
+	})
+	t.Run("dangling", func(t *testing.T) {
+		dir := t.TempDir()
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 1, Op: opDeposit, Customer: "a", Amount: 50}))
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 2, Op: opDebit, Sale: 1, Customer: "a", Amount: 5}))
+		appendWAL(t, dir, frameRecord(t, WALRecord{Seq: 3, Op: opSpendHeld, Sale: 1, Dataset: "ozone", Epsilon: 0.3}))
+
+		b := durBroker(t, dir)
+		if got := b.walletStore().Balance("a"); got != 50 {
+			t.Fatalf("balance %v, want 50 (unresolved debit skipped)", got)
+		}
+		snap := stateOf(t, b)
+		if s := snap.Accountants["ozone"]; !closeEnough(s.Spent, 0.3) || s.Queries != 1 {
+			t.Fatalf("withheld spend lost on replay: %+v, want {0.3, 1}", s)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		if _, err := replay(&Snapshot{}, []WALRecord{{Seq: 1, Op: opSpendHeld, Sale: 1, Dataset: "", Epsilon: 0.3}}); err == nil {
+			t.Fatal("replay accepted a spend-withheld record with no dataset")
+		}
+	})
+}
+
+// TestWithheldSpendSurvivesRestart: the live accountant is charged for
+// a sale the per-customer cap withholds; a restart must not refund that
+// budget — recovered Σε′ must equal the live run's.
+func TestWithheldSpendSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir)
+	if err := b.Deposit("alice", 50); err != nil {
+		t.Fatal(err)
+	}
+	r1 := durBuy(t, b, "alice")
+	// Cap at 1.5ε′: alice's second identical purchase is answered (and
+	// charged) but withheld.
+	if err := b.SetCustomerPrivacyCap(1.5 * r1.EpsilonPrime); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Buy(Request{Op: "buy", Dataset: "ozone", Customer: "alice", L: 0, U: 200, Alpha: 0.2, Delta: 0.5})
+	if err == nil {
+		t.Fatal("buy past the per-customer cap released an answer")
+	}
+	live := stateOf(t, b)
+	if s := live.Accountants["ozone"]; !closeEnough(s.Spent, 2*r1.EpsilonPrime) || s.Queries != 2 {
+		t.Fatalf("live accountant %+v, want the withheld charge included (%v, 2)", s, 2*r1.EpsilonPrime)
+	}
+	if err := b.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb := durBroker(t, dir)
+	got := stateOf(t, rb)
+	if s, want := got.Accountants["ozone"], live.Accountants["ozone"]; !closeEnough(s.Spent, want.Spent) || s.Queries != want.Queries {
+		t.Fatalf("recovered accountant %+v, live %+v: restart refunded a withheld charge", s, want)
+	}
+	if gotBal, want := got.Balances["alice"], live.Balances["alice"]; !closeEnough(gotBal, want) {
+		t.Fatalf("recovered balance %v, live %v", gotBal, want)
+	}
+	if rb.Ledger().Purchases() != 1 {
+		t.Fatalf("recovered %d purchases, want 1 (the withheld sale must not commit)", rb.Ledger().Purchases())
+	}
+}
+
+// TestDepositCreditAfterDurable: the balance must not move before the
+// grant's fsync returns — the old credit-first order let a concurrent
+// debit consume undurable funds, and the rollback then drove the
+// balance negative.
+func TestDepositCreditAfterDurable(t *testing.T) {
+	dir := t.TempDir()
+	b := durBroker(t, dir)
+	var atFsync float64
+	b.durableStore().wal.hook = func(p walCrashPoint, n int) (int, bool) {
+		if p == crashSyncFsync {
+			// Mid-deposit, pre-fsync: the credit must not be visible yet.
+			atFsync = b.walletStore().Balance("a")
+			return 0, true // and the fsync dies
+		}
+		return 0, false
+	}
+	if err := b.Deposit("a", 50); !errors.Is(err, errWALCrashed) {
+		t.Fatalf("deposit over a dying WAL returned %v, want errWALCrashed", err)
+	}
+	if atFsync != 0 {
+		t.Fatalf("balance was %v before the grant was durable, want 0", atFsync)
+	}
+	if got := b.walletStore().Balance("a"); got != 0 {
+		t.Fatalf("failed deposit left balance %v, want 0", got)
+	}
+}
+
+// TestDepositRejectsNonFinite: a NaN grant passes a plain `<= 0` check
+// but would journal a record replay refuses; it must be rejected before
+// anything is written.
+func TestDepositRejectsNonFinite(t *testing.T) {
+	b := durBroker(t, t.TempDir())
+	for _, amount := range []float64{math.NaN(), math.Inf(1)} {
+		if err := b.Deposit("a", amount); err == nil {
+			t.Fatalf("deposit of %v accepted", amount)
+		}
+	}
+	if err := b.CloseDurability(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -15,14 +15,25 @@ type Wallets struct {
 	balances map[string]float64
 }
 
-// Deposit credits a customer's account. It returns an error for an empty
-// customer id or a non-positive amount.
-func (w *Wallets) Deposit(customer string, amount float64) error {
+// checkDeposit validates a grant before anything is journaled or
+// credited: the broker's durable path runs it first so an invalid
+// grant is rejected without writing a WAL record replay would refuse
+// (a NaN amount passes a plain `<= 0` check but poisons the log).
+func checkDeposit(customer string, amount float64) error {
 	if customer == "" {
 		return fmt.Errorf("market: deposit needs a customer id")
 	}
-	if amount <= 0 {
+	if !isFinite(amount) || amount <= 0 {
 		return fmt.Errorf("market: deposit amount %v must be positive", amount)
+	}
+	return nil
+}
+
+// Deposit credits a customer's account. It returns an error for an empty
+// customer id or a non-positive amount.
+func (w *Wallets) Deposit(customer string, amount float64) error {
+	if err := checkDeposit(customer, amount); err != nil {
+		return err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -69,20 +80,6 @@ func (w *Wallets) refund(customer string, amount float64) {
 		w.balances = make(map[string]float64)
 	}
 	w.balances[customer] += amount
-}
-
-// applyDelta adjusts a balance directly, without validation or
-// journaling. It exists for WAL replay and for rolling back a mutation
-// whose journaling failed — ordinary call sites use Deposit/debit/
-// refund, which the waldebit analyzer holds to the journal-before-ack
-// discipline.
-func (w *Wallets) applyDelta(customer string, delta float64) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.balances == nil {
-		w.balances = make(map[string]float64)
-	}
-	w.balances[customer] += delta
 }
 
 // Customers lists account holders in name order.
