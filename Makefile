@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: all check build vet lint privlint staticcheck tools test race cover bench bench-smoke bench-shard experiments examples fuzz chaos shard durability clean
+.PHONY: all check build vet lint privlint lint-report staticcheck tools test race cover bench bench-smoke bench-shard experiments examples fuzz chaos shard durability clean
 
 all: build vet test
 
@@ -28,11 +28,22 @@ vet:
 lint: vet privlint staticcheck
 
 # privlint is the repo's own go/analysis-style suite (internal/lint):
-# eight analyzers mechanizing the privacy, determinism, locking,
-# billing, error-wrapping, telemetry-taint and WAL-journaling
-# invariants. See DESIGN.md §8 for the catalog.
+# twelve analyzers mechanizing the privacy, determinism, locking,
+# lock-ordering, goroutine-discipline, atomicity, billing,
+# error-wrapping, telemetry-taint and WAL-journaling invariants, with
+# cross-package facts serialized between packages. See DESIGN.md §8 for
+# the catalog and §13 for the lock-order DAG. Findings are suppressed
+# only by `//lint:allow <analyzer> <reason>`; reasonless or unused
+# directives are findings themselves.
 privlint:
 	$(GO) run ./cmd/privlint ./...
+
+# lint-report regenerates the machine-readable lint report committed in
+# results/, so analyzer output is diffable across commits. Fails (like
+# privlint) if the tree has findings.
+lint-report:
+	@mkdir -p results
+	$(GO) run ./cmd/privlint -json ./... > results/privlint.json
 
 staticcheck:
 	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
@@ -49,8 +60,14 @@ tools:
 test:
 	$(GO) test ./...
 
+# race runs the full suite under the race detector, then re-runs the
+# concurrency-heavy shard and market suites a second time: their bugs
+# (scatter-gather joins, WAL group commit, receipt ordering) are
+# interleaving-dependent, and a second pass shakes out schedules the
+# first run missed.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/shard/ ./internal/market/
 
 cover:
 	$(GO) test -cover ./...

@@ -51,6 +51,15 @@ type Pass struct {
 	// declared anywhere in the module to its sentinel description,
 	// keyed by message text. Analyzers use it to spot re-definitions.
 	Sentinels map[string]Sentinel
+	// Facts holds the serialized cross-package summaries (lock
+	// acquisitions, determinism hazards, atomic fields) of every package
+	// the runner has processed, including the target's import closure.
+	// May be nil for callers that opt out of the facts layer.
+	Facts *FactStore
+	// Loaded is the loader's view of the target package (source files,
+	// directory, type info) — the same value handed to ComputeFacts, so
+	// analyzers and the facts layer always analyze identical input.
+	Loaded *Package
 
 	report func(Diagnostic)
 }

@@ -36,12 +36,15 @@ var (
 	loader    *lint.Loader
 	module    []*lint.Package
 	sentinels map[string]lint.Sentinel
+	facts     *lint.FactStore
 	initErr   error
 )
 
 // setup loads the whole module once, shared across tests: fixtures
-// re-use the already-checked module packages, and the sentinel table
-// covers every package the errwrap analyzer needs to know about.
+// re-use the already-checked module packages, the sentinel table covers
+// every package the errwrap analyzer needs to know about, and the fact
+// store carries the module's serialized lock/determinism/atomic
+// summaries for the cross-package analyzers.
 func setup() {
 	loader, initErr = lint.NewLoader(".")
 	if initErr != nil {
@@ -52,6 +55,7 @@ func setup() {
 		return
 	}
 	sentinels = lint.CollectSentinels(module)
+	facts, initErr = lint.ComputeFacts(module, loader.Fset)
 }
 
 // Run loads testdata/src/<name>, applies analyzer a to it, and asserts
@@ -74,7 +78,14 @@ func Run(t *testing.T, a *lint.Analyzer, name string) {
 	for k, v := range lint.CollectSentinels([]*lint.Package{pkg}) {
 		merged[k] = v
 	}
-	diags, err := lint.Run([]*lint.Analyzer{a}, []*lint.Package{pkg}, loader.Fset, merged)
+	// The fixture joins the module's fact store so cross-package
+	// summaries (lock edges, det hazards, atomic fields) flow into it —
+	// and its own facts are added the same serialized way, proving the
+	// fixture round trip too.
+	if err := facts.Add(pkg, loader.Fset); err != nil {
+		t.Fatalf("computing facts for fixture %s: %v", name, err)
+	}
+	diags, err := lint.Run([]*lint.Analyzer{a}, []*lint.Package{pkg}, loader.Fset, lint.RunConfig{Sentinels: merged, Facts: facts})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, name, err)
 	}
@@ -101,7 +112,7 @@ func CleanModule(t *testing.T) {
 	if initErr != nil {
 		t.Fatalf("loading module: %v", initErr)
 	}
-	diags, err := lint.Run(lint.All(), module, loader.Fset, sentinels)
+	diags, err := lint.Run(lint.All(), module, loader.Fset, lint.RunConfig{Sentinels: sentinels, Facts: facts})
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicGuard enforces all-or-nothing atomicity: a variable or field
+// accessed through sync/atomic anywhere must be accessed atomically
+// everywhere. One plain `x++` next to a fleet of atomic.AddUint64(&x,…)
+// is a data race the race detector only reports when a test happens to
+// interleave the two — this analyzer reports it statically, across
+// packages, via the AtomicFields facts each package serializes.
+//
+// Typed atomics (atomic.Uint64, atomic.Pointer[T], …) get the
+// complementary check: their method set is the only safe access, so
+// copying one by value — as a call argument, assignment, return value,
+// composite-literal element, or range-over-slice value — silently forks
+// the counter state and is a finding.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc: `a field accessed through sync/atomic anywhere must be accessed
+atomically everywhere (mixed plain/atomic access races); typed atomics
+must never be copied by value`,
+	Run: runAtomicGuard,
+}
+
+// atomicResult records which raw variables a package accesses through
+// address-taking sync/atomic calls.
+type atomicResult struct {
+	// objs: object identity for same-package plain-access checks.
+	objs map[types.Object]bool
+	// ids: exported identities ("pkg.Type.field", "pkg.var") for facts.
+	ids map[string]bool
+}
+
+// atomicIDs returns the sorted exported identities for serialization.
+func (r *atomicResult) atomicIDs() []string {
+	out := make([]string, 0, len(r.ids))
+	for id := range r.ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// analyzeAtomic finds every &x argument to a sync/atomic call in pkg.
+// Shared by the facts layer and the atomicguard pass.
+func analyzeAtomic(pkg *Package) *atomicResult {
+	res := &atomicResult{
+		objs: make(map[types.Object]bool),
+		ids:  make(map[string]bool),
+	}
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicPkgCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, okU := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !okU || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if obj := receiverObject(info, target); obj != nil {
+					res.objs[obj] = true
+				}
+				if id := atomicVarID(info, target); id != "" {
+					res.ids[id] = true
+				}
+			}
+			return true
+		})
+	}
+	return res
+}
+
+// isAtomicPkgCall reports whether call invokes a top-level sync/atomic
+// function (AddUint64, LoadInt64, StorePointer, CompareAndSwap…, not a
+// typed-atomic method).
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// atomicVarID names a raw atomic target for cross-package facts:
+// "pkg.Type.field" for struct fields, "pkg.var" for package-level
+// variables, "" for locals (object identity suffices within a package).
+func atomicVarID(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if field, okF := sel.Obj().(*types.Var); okF {
+				if named, okN := derefNamed(sel.Recv()); okN {
+					return qualifyNamed(named) + "." + field.Name()
+				}
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func runAtomicGuard(pass *Pass) error {
+	info := pass.TypesInfo
+	own := analyzeAtomic(pass.Loaded)
+
+	// Cross-package atomic identities from facts (the import closure and,
+	// in the normal configuration, this package itself).
+	importedIDs := make(map[string]bool)
+	if pass.Facts != nil {
+		for _, p := range pass.Facts.Packages() {
+			if pf, ok := pass.Facts.ForPackage(p); ok {
+				for _, id := range pf.AtomicFields {
+					importedIDs[id] = true
+				}
+			}
+		}
+	}
+
+	isAtomicTarget := func(obj types.Object, id string) bool {
+		if obj != nil && own.objs[obj] {
+			return true
+		}
+		return id != "" && importedIDs[id]
+	}
+
+	pass.inspectStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok {
+				if field, okF := sel.Obj().(*types.Var); okF {
+					id := atomicVarID(info, n)
+					if isAtomicTarget(field, id) && !insideAtomicCall(info, stack) {
+						pass.Reportf(n.Sel.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere: mixed plain/atomic access is a data race — use atomic.Load/Store here too", plainAtomicName(id, field))
+					}
+				}
+			}
+		case *ast.Ident:
+			// Plain identifier uses (package vars, locals). Skip the Sel of
+			// a selector (handled above) and declarations.
+			if len(stack) > 0 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true
+				}
+			}
+			if v, ok := info.Uses[n].(*types.Var); ok {
+				id := atomicVarID(info, n)
+				if isAtomicTarget(v, id) && !insideAtomicCall(info, stack) {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere: mixed plain/atomic access is a data race — use atomic.Load/Store here too", plainAtomicName(id, v))
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, b := range buckets where buckets is []atomic.T copies
+			// every element.
+			if n.Value != nil {
+				if t := exprType(info, n.Value); t != nil && isTypedAtomic(t) {
+					pass.Reportf(n.Value.Pos(), "range copies %s values out of the slice: a typed atomic must not be copied — range by index and use &s[i]", atomicTypeName(t))
+				}
+			}
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if t := exprType(info, e); t != nil && isTypedAtomic(t) {
+				if bad, how := atomicCopyContext(e, stack); bad {
+					pass.Reportf(e.Pos(), "%s is copied by value (%s): the copy's state silently diverges from the original — keep a pointer or access through the original", atomicTypeName(t), how)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func plainAtomicName(id string, obj types.Object) string {
+	if id != "" {
+		return shortLock(id)
+	}
+	return obj.Name()
+}
+
+// insideAtomicCall reports whether the node at the top of stack sits
+// under an &x argument of a sync/atomic call — the one legitimate
+// non-method access to a raw atomic variable. The shape is
+// CallExpr(atomic.F) → UnaryExpr(&) → … → node, with parens allowed.
+func insideAtomicCall(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 1; i-- {
+		un, ok := stack[i].(*ast.UnaryExpr)
+		if !ok {
+			if _, isParen := stack[i].(*ast.ParenExpr); isParen {
+				continue
+			}
+			return false
+		}
+		if un.Op != token.AND {
+			return false
+		}
+		for j := i - 1; j >= 0; j-- {
+			if _, isParen := stack[j].(*ast.ParenExpr); isParen {
+				continue
+			}
+			call, okC := stack[j].(*ast.CallExpr)
+			return okC && isAtomicPkgCall(info, call)
+		}
+		return false
+	}
+	return false
+}
+
+// exprType resolves the type of an expression node, preferring the
+// Types map and falling back to object resolution for identifiers.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		if !tv.IsValue() {
+			return nil // type expressions ([]atomic.Uint64 in a make) are not uses
+		}
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, okV := info.ObjectOf(id).(*types.Var); okV {
+			return v.Type()
+		}
+	}
+	return nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values
+// (Uint64, Int64, Bool, Pointer[T], Value, …).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func atomicTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	return "atomic." + named.Obj().Name()
+}
+
+// atomicCopyContext decides whether an atomic-typed expression in this
+// syntactic position copies the value. Method receivers, address-of,
+// and selector bases are the safe positions; everything that moves the
+// value (arguments, assignments, returns, composite literals, sends)
+// is a copy.
+func atomicCopyContext(e ast.Expr, stack []ast.Node) (bad bool, how string) {
+	if len(stack) == 0 {
+		return false, ""
+	}
+	// Skip over parens.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false, ""
+	}
+	switch p := stack[i].(type) {
+	case *ast.SelectorExpr:
+		return false, "" // method call or field access through the value
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return false, ""
+		}
+		return true, "operand of " + p.Op.String()
+	case *ast.StarExpr:
+		// *p as a standalone expression: judged by ITS parent when the
+		// walker reaches it; the inner pointer never matches here.
+		return false, ""
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if ast.Unparen(a) == e {
+				return true, "passed as a call argument"
+			}
+		}
+		return false, ""
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if ast.Unparen(r) == e {
+				return true, "assigned"
+			}
+		}
+		return false, ""
+	case *ast.ValueSpec:
+		for _, v := range p.Values {
+			if ast.Unparen(v) == e {
+				return true, "used as an initializer"
+			}
+		}
+		return false, ""
+	case *ast.ReturnStmt:
+		return true, "returned"
+	case *ast.CompositeLit:
+		return true, "placed in a composite literal"
+	case *ast.KeyValueExpr:
+		if ast.Unparen(p.Value) == e {
+			return true, "placed in a composite literal"
+		}
+		return false, ""
+	case *ast.SendStmt:
+		if ast.Unparen(p.Value) == e {
+			return true, "sent on a channel"
+		}
+		return false, ""
+	case *ast.BinaryExpr:
+		return true, "operand of " + p.Op.String()
+	case *ast.IndexExpr:
+		if ast.Unparen(p.Index) == e {
+			return true, "used as an index"
+		}
+		return false, "" // e is the slice/array being indexed
+	case *ast.RangeStmt:
+		return false, "" // handled separately with a sharper message
+	}
+	return false, ""
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineScope enforces goroutine discipline: every `go` statement
+// must be provably joined or cancellable. A spawn passes when the
+// analyzer can see one of:
+//
+//   - WaitGroup join: the spawned body calls Done() on a sync.WaitGroup
+//     that is Wait()ed — the same local variable for pool-style fanout,
+//     or the same struct field anywhere in the package for long-lived
+//     workers joined by a Close/Shutdown method;
+//   - cancellation: the body selects on ctx.Done() (context.Context) or
+//     receives from / ranges over a channel the package close()s.
+//
+// Anything else — fire-and-forget literals, spawns of functions the
+// analyzer cannot resolve — is a finding. The rule exists because the
+// serving path accretes goroutines per request: an unjoined spawn is
+// invisible at 10 QPS and an OOM at the paper's scale, and an unjoined
+// spawn also outlives Close(), racing teardown (exactly the class of
+// leak the race detector only catches when a test gets lucky).
+var GoroutineScope = &Analyzer{
+	Name: "goroutinescope",
+	Doc: `every go statement must be tied to a bounded pool, a Wait()ed
+sync.WaitGroup, or a context/close-cancellable loop the analyzer can prove
+is joined or cancelled; unbounded spawn-per-request patterns are findings`,
+	Run: runGoroutineScope,
+}
+
+func runGoroutineScope(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1 (package-wide): which WaitGroup objects are Wait()ed, which
+	// channel objects are close()d, and where each named function's body
+	// lives. Object identity (types.Object) covers both fields — one
+	// object per field declaration, shared by all instances — and locals.
+	waited := make(map[types.Object]bool)
+	closed := make(map[types.Object]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := info.Defs[n.Name].(*types.Func); ok {
+					decls[fn] = n
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, n); fn != nil && isFuncNamed(fn, "sync", "WaitGroup.Wait") {
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if obj := receiverObject(info, sel.X); obj != nil {
+							waited[obj] = true
+						}
+					}
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+						if obj := receiverObject(info, n.Args[0]); obj != nil {
+							closed[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: judge every go statement.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(info, decls, gs)
+			if body == nil {
+				pass.Reportf(gs.Pos(), "goroutine target is not analyzable (interface, cross-package, or indirect call): spawn a local wrapper that joins a WaitGroup or watches a done channel so the lifetime is provable")
+				return true
+			}
+			if goroutineJoined(info, body, waited, closed) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine is not provably joined or cancelled: tie it to a Wait()ed sync.WaitGroup (pool fanout or a Close-joined field) or a ctx.Done()/closed-channel loop — unjoined spawns leak per request and outlive shutdown")
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnedBody resolves the statement list a go statement executes:
+// a function literal's body, or the declaration body of a same-package
+// named function or method.
+func spawnedBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(info, gs.Call)
+	if fn == nil {
+		return nil
+	}
+	if fd, ok := decls[fn]; ok && fd.Body != nil {
+		return fd.Body
+	}
+	return nil
+}
+
+// goroutineJoined reports whether the spawned body carries a join or
+// cancellation proof.
+func goroutineJoined(info *types.Info, body *ast.BlockStmt, waited, closed map[types.Object]bool) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			// wg.Done() on a Wait()ed WaitGroup.
+			if isFuncNamed(fn, "sync", "WaitGroup.Done") {
+				if sel, okSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); okSel {
+					if obj := receiverObject(info, sel.X); obj != nil && waited[obj] {
+						ok = true
+					}
+				}
+			}
+			// ctx.Done(): the loop is context-cancellable.
+			if isFuncNamed(fn, "context", "Done") || isContextDone(fn) {
+				ok = true
+			}
+		case *ast.UnaryExpr:
+			// <-ch on a package-closed channel.
+			if n.Op.String() == "<-" {
+				if obj := receiverObject(info, n.X); obj != nil && closed[obj] {
+					ok = true
+				}
+			}
+		case *ast.RangeStmt:
+			// for range ch on a package-closed channel terminates at close.
+			if obj := receiverObject(info, n.X); obj != nil && closed[obj] {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// isContextDone matches the Done method of the context.Context
+// interface (calleeFunc resolves interface methods to the interface's
+// *types.Func).
+func isContextDone(fn *types.Func) bool {
+	return fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// receiverObject resolves an expression to the variable object it
+// denotes: a local for plain identifiers, the field object for
+// selector expressions (instance-independent), nil otherwise.
+func receiverObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, okV := sel.Obj().(*types.Var); okV {
+				return v
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		return receiverObject(info, e.X)
+	}
+	return nil
+}

@@ -19,6 +19,10 @@ func TestErrWrap(t *testing.T)         { analysistest.Run(t, lint.ErrWrap, "errw
 func TestBilling(t *testing.T)         { analysistest.Run(t, lint.Billing, "billing") }
 func TestTelemetryTaint(t *testing.T)  { analysistest.Run(t, lint.TelemetryTaint, "telemetrytaint") }
 func TestWALDebit(t *testing.T)        { analysistest.Run(t, lint.WALDebit, "waldebit") }
+func TestLockOrder(t *testing.T)       { analysistest.Run(t, lint.LockOrder, "lockorder") }
+func TestDetOrder(t *testing.T)        { analysistest.Run(t, lint.DetOrder, "detorder") }
+func TestGoroutineScope(t *testing.T)  { analysistest.Run(t, lint.GoroutineScope, "goroutinescope") }
+func TestAtomicGuard(t *testing.T)     { analysistest.Run(t, lint.AtomicGuard, "atomicguard") }
 
 // TestSuiteCleanOnModule pins the invariant catalog to the tree: the
 // full suite must report nothing on the module itself.

@@ -59,21 +59,42 @@ func CollectSentinels(pkgs []*Package) map[string]Sentinel {
 	return out
 }
 
-// Run executes every analyzer over every package and returns the
-// diagnostics sorted by position. Sentinels should cover the whole
-// module (CollectSentinels over all loaded packages), not just the
-// packages being linted, so cross-package re-definitions are caught.
-func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet, sentinels map[string]Sentinel) ([]Diagnostic, error) {
+// RunConfig carries the module-wide state shared by every pass in a
+// run.
+type RunConfig struct {
+	// Sentinels should cover the whole module (CollectSentinels over all
+	// loaded packages), not just the packages being linted, so
+	// cross-package sentinel re-definitions are caught.
+	Sentinels map[string]Sentinel
+	// Facts holds the serialized per-package summaries (ComputeFacts over
+	// the module). May be nil: fact-consuming analyzers then see only
+	// their own package, which is how the loader bootstraps.
+	Facts *FactStore
+}
+
+// Run executes every analyzer over every package, applies //lint:allow
+// suppressions, and returns the surviving diagnostics sorted by
+// position. Suppression hygiene findings (malformed or unused
+// directives) come back under the pseudo-analyzer "suppress".
+func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet, cfg RunConfig) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
+	var allows []*allowDirective
 	for _, pkg := range pkgs {
+		pkgAllows, bad := collectAllows(pkg, fset)
+		allows = append(allows, pkgAllows...)
+		diags = append(diags, bad...)
 		for _, a := range analyzers {
+			ran[a.Name] = true
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-				Sentinels: sentinels,
+				Sentinels: cfg.Sentinels,
+				Facts:     cfg.Facts,
+				Loaded:    pkg,
 				report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
@@ -81,6 +102,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet, sentinels 
 			}
 		}
 	}
+	diags = applySuppressions(diags, allows, ran, fset)
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -97,10 +119,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet, sentinels 
 // All returns the full privlint suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicGuard,
 		BaseLock,
 		Billing,
 		BudgetFloat,
+		DetOrder,
 		ErrWrap,
+		GoroutineScope,
+		LockOrder,
 		NoiseSource,
 		PrivacyBoundary,
 		TelemetryTaint,

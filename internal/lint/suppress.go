@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression support: a finding may be silenced at the offending line
+// (or the line above it) with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — an allowlist entry without a recorded
+// justification is unauditable, so a reasonless directive does NOT
+// suppress and is itself reported. A directive that suppresses nothing
+// is also reported (for the analyzers that actually ran): stale
+// suppressions hide future regressions at exactly the lines humans have
+// been trained to skip. Both classes are reported under the pseudo
+// analyzer name "suppress", which cannot itself be suppressed.
+
+// suppressAnalyzerName labels directive-hygiene findings.
+const suppressAnalyzerName = "suppress"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	pos      token.Pos
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in pkg, returning
+// the well-formed directives plus diagnostics for malformed ones.
+func collectAllows(pkg *Package, fset *token.FileSet) ([]*allowDirective, []Diagnostic) {
+	var allows []*allowDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //lint:allowX token
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: suppressAnalyzerName,
+						Message:  "malformed suppression: need '//lint:allow <analyzer> <reason>' — the reason is mandatory and this directive suppresses nothing until it has one",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				allows = append(allows, &allowDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     p.Filename,
+					line:     p.Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// applySuppressions filters diags through the directives: a finding
+// from analyzer A at file:line is dropped when a directive for A sits
+// on that line or the line above. Unused directives for analyzers in
+// ran become findings themselves (scoping to ran keeps single-analyzer
+// runs — the golden-test harness — from miscounting directives aimed at
+// the rest of the suite).
+func applySuppressions(diags []Diagnostic, allows []*allowDirective, ran map[string]bool, fset *token.FileSet) []Diagnostic {
+	index := make(map[string]*allowDirective, len(allows))
+	key := func(file string, line int, analyzer string) string {
+		return file + "\x00" + analyzer + "\x00" + strconv.Itoa(line)
+	}
+	for _, a := range allows {
+		index[key(a.file, a.line, a.analyzer)] = a
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == suppressAnalyzerName {
+			out = append(out, d)
+			continue
+		}
+		p := fset.Position(d.Pos)
+		matched := index[key(p.Filename, p.Line, d.Analyzer)]
+		if matched == nil {
+			matched = index[key(p.Filename, p.Line-1, d.Analyzer)]
+		}
+		if matched != nil {
+			matched.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, a := range allows {
+		if a.used || !ran[a.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      a.pos,
+			Analyzer: suppressAnalyzerName,
+			Message:  "unused suppression for " + a.analyzer + ": nothing on this or the next line triggers it — delete the directive (stale allowlists hide future regressions)",
+		})
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package atomicguard holds golden cases for the atomicguard analyzer.
+package atomicguard
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	hits atomic.Uint64
+}
+
+// record declares the intent: n is an atomic field.
+func (c *counter) record() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// peek reads the same field without sync/atomic — the data race the
+// race detector only sees when a test interleaves the two.
+func (c *counter) peek() uint64 {
+	return c.n // want `mixed plain/atomic access`
+}
+
+// observe takes a typed atomic by value; the copies happen at its call
+// sites below.
+func observe(v atomic.Uint64) uint64 {
+	return v.Load()
+}
+
+func (c *counter) report() uint64 {
+	return observe(c.hits) // want `copied by value`
+}
+
+func (c *counter) stash() {
+	h := c.hits // want `copied by value`
+	_ = &h
+}
+
+// total iterates a typed-atomic slice by value, forking every element.
+func total(buckets []atomic.Uint64) uint64 {
+	var t uint64
+	for _, b := range buckets { // want `range copies`
+		t += b.Load()
+	}
+	return t
+}

@@ -1,0 +1,42 @@
+package atomicguard
+
+import "sync/atomic"
+
+type meter struct {
+	calls atomic.Uint64
+	flags uint64
+}
+
+// Method access is the sanctioned use of a typed atomic.
+func (m *meter) bump() {
+	m.calls.Add(1)
+}
+
+func (m *meter) read() uint64 {
+	return m.calls.Load()
+}
+
+// Passing the atomic by pointer shares state instead of forking it.
+func drain(c *atomic.Uint64) uint64 {
+	return c.Swap(0)
+}
+
+func (m *meter) flush() uint64 {
+	return drain(&m.calls)
+}
+
+// flags is accessed through sync/atomic everywhere: no mixed access.
+func (m *meter) mark() {
+	atomic.AddUint64(&m.flags, 1)
+}
+
+func (m *meter) flagged() uint64 {
+	return atomic.LoadUint64(&m.flags)
+}
+
+// Indexing by position and calling through the element avoids copies.
+func zero(buckets []atomic.Uint64) {
+	for i := range buckets {
+		buckets[i].Store(0)
+	}
+}

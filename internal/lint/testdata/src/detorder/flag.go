@@ -1,0 +1,37 @@
+// Package detorder holds golden cases for the detorder analyzer.
+// Release is the configured deterministic-path root (see detRoots in
+// detorder.go); everything reachable from it within the package is on
+// the deterministic release path.
+package detorder
+
+import (
+	"math/rand"
+	"time"
+
+	"privrange/internal/market"
+)
+
+// Release mirrors the engine's release-and-reduce shape. The unsorted
+// map range feeds floating-point accumulation, whose result depends on
+// iteration order.
+func Release(samples map[int]float64, c *market.Client) float64 {
+	total := 0.0
+	for _, v := range samples { // want `range over map`
+		total += v
+	}
+	if _, err := c.Do(market.Request{}); err != nil { // want `carries determinism hazards`
+		return 0
+	}
+	return total + skew() + draw() + tally(samples) + float64(len(groupCount(samples)))
+}
+
+// skew is reachable from Release, so its wall-clock read lands in
+// released bytes.
+func skew() float64 {
+	return float64(time.Now().UnixNano() % 2) // want `time\.Now`
+}
+
+// draw pulls from the shared, seed-racy global source.
+func draw() float64 {
+	return rand.Float64() // want `math/rand\.Float64`
+}

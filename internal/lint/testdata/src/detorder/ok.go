@@ -1,0 +1,40 @@
+package detorder
+
+import (
+	"sort"
+	"time"
+)
+
+// Observe is not reachable from Release: wall-clock telemetry outside
+// the deterministic path is not a finding.
+func Observe() int64 {
+	return time.Now().UnixNano()
+}
+
+// tally follows the sorted-snapshot discipline: the map range only
+// collects keys (append target sorted before use) and counts, and the
+// order-sensitive float accumulation runs over the sorted slice.
+func tally(samples map[int]float64) float64 {
+	keys := make([]int, 0, len(samples))
+	n := 0
+	for k := range samples {
+		keys = append(keys, k)
+		n++
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += samples[k]
+	}
+	return total + float64(n)
+}
+
+// groupCount only performs order-neutral effects inside the map range:
+// integer increments of map-index slots commute across iterations.
+func groupCount(samples map[int]float64) map[int]int {
+	out := make(map[int]int, 4)
+	for k := range samples {
+		out[k%4]++
+	}
+	return out
+}

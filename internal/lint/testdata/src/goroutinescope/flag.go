@@ -1,0 +1,32 @@
+// Package goroutinescope holds golden cases for the goroutinescope
+// analyzer.
+package goroutinescope
+
+import (
+	"net"
+	"net/http"
+)
+
+// fireAndForget spawns a function value the analyzer cannot resolve to
+// a body, so the lifetime is unprovable.
+func fireAndForget(work func()) {
+	go work() // want `not analyzable`
+}
+
+// perRequest spawns one goroutine per item with no join and no
+// cancellation: the unbounded spawn-per-request pattern.
+func perRequest(jobs []int) {
+	for range jobs {
+		go func() { // want `not provably joined`
+			_ = len(jobs)
+		}()
+	}
+}
+
+// serveUnjoined mirrors the accept-loop leak the telemetry ops server
+// had: the spawn outlives any Close.
+func serveUnjoined(srv *http.Server, ln net.Listener) {
+	go func() { // want `not provably joined`
+		_ = srv.Serve(ln)
+	}()
+}

@@ -1,0 +1,70 @@
+package goroutinescope
+
+import (
+	"context"
+	"sync"
+)
+
+// pooled is the sanctioned fanout shape: every spawn calls Done on a
+// WaitGroup the same function Wait()s.
+func pooled(items []int) int {
+	var wg sync.WaitGroup
+	out := make([]int, len(items))
+	for i := range items {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			out[slot] = slot * 2
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// Worker is the long-lived shape: the spawn's Done pairs with the Wait
+// in Close, and the drainer terminates when Close closes quit.
+type Worker struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+func (w *Worker) Start() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+func (w *Worker) loop() {
+	defer w.wg.Done()
+	<-w.quit
+}
+
+// SpawnDrainer ranges over a channel the package close()s, so the
+// goroutine terminates at shutdown.
+func (w *Worker) SpawnDrainer() {
+	go func() {
+		for range w.quit {
+		}
+	}()
+}
+
+func (w *Worker) Close() {
+	close(w.quit)
+	w.wg.Wait()
+}
+
+// watcher is context-cancellable: the loop selects on ctx.Done().
+func watcher(ctx context.Context, tick <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}

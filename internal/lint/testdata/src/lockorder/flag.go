@@ -1,0 +1,99 @@
+// Package lockorder holds golden flag cases for the lockorder analyzer.
+package lockorder
+
+import (
+	"os"
+	"sync"
+
+	"privrange/internal/market"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// lockAB and lockBA together close an ordering cycle: a goroutine in
+// each function deadlocks against the other.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// upgrade attempts the classic RLock-to-Lock upgrade, which
+// self-deadlocks: the writer waits for all readers, including itself.
+func (g *gauge) upgrade() {
+	g.mu.RLock()
+	g.mu.Lock() // want `upgrade self-deadlocks`
+	g.mu.Unlock()
+	g.mu.RUnlock()
+}
+
+// double re-acquires a lock it already holds.
+func (g *gauge) double() {
+	g.mu.Lock()
+	g.mu.Lock() // want `not reentrant`
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func (g *gauge) get() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// sum calls a helper that re-acquires the lock sum already holds.
+func (g *gauge) sum() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.get() // want `may re-acquire`
+}
+
+// Journal.ackMu is registered in the analyzer's no-block set, standing
+// in for the market's recordMu on its ack fast path.
+type Journal struct {
+	ackMu sync.Mutex
+	f     *os.File
+}
+
+// ackDirect performs blocking operations while holding the no-block
+// lock directly.
+func (j *Journal) ackDirect(ch chan int) {
+	j.ackMu.Lock()
+	_ = j.f.Sync() // want `fsync while holding`
+	ch <- 1        // want `channel send while holding`
+	j.ackMu.Unlock()
+}
+
+func (j *Journal) flush() {
+	_ = j.f.Sync()
+}
+
+// ackViaHelper reaches the fsync through a same-package callee's
+// summary.
+func (j *Journal) ackViaHelper() {
+	j.ackMu.Lock()
+	defer j.ackMu.Unlock()
+	j.flush() // want `fsync \(via Journal\.flush\) while holding`
+}
+
+// resellUnderAck reaches an fsync through the serialized facts of a
+// real module package: market.Broker.Buy syncs the WAL.
+func (j *Journal) resellUnderAck(b *market.Broker) {
+	j.ackMu.Lock()
+	defer j.ackMu.Unlock()
+	_, _ = b.Buy(market.Request{}) // want `fsync \(via market\.Broker\.Buy\) while holding`
+}

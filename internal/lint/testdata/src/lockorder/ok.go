@@ -1,0 +1,59 @@
+package lockorder
+
+import "sync"
+
+// pool acquires a strictly before b everywhere: the graph stays a DAG.
+type pool struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pool) first() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pool) second() int {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	return 0
+}
+
+// Distinct instances of one lock class may nest: only syntactically
+// identical receivers are claimed to be the same lock.
+type node struct {
+	mu sync.Mutex
+	n  int
+}
+
+func merge(x, y *node) int {
+	x.mu.Lock()
+	y.mu.Lock()
+	total := x.n + y.n
+	y.mu.Unlock()
+	x.mu.Unlock()
+	return total
+}
+
+// refresh reads then writes in sequence — releasing the read side
+// before taking the write side is the sanctioned non-upgrade shape.
+func (g *gauge) refresh(v int) int {
+	g.mu.RLock()
+	old := g.v
+	g.mu.RUnlock()
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+	return old
+}
+
+// ackThenSync releases the no-block lock before touching the disk.
+func (j *Journal) ackThenSync() {
+	j.ackMu.Lock()
+	j.ackMu.Unlock()
+	_ = j.f.Sync()
+}

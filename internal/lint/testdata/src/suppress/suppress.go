@@ -1,0 +1,31 @@
+// Package suppress exercises the //lint:allow directive machinery. It
+// is checked by TestSuppression directly rather than through want
+// comments: a want comment cannot share a line with the directive it
+// documents.
+package suppress
+
+// spawnAllowed: a well-formed directive (analyzer plus reason) on the
+// line above the finding suppresses it.
+func spawnAllowed(work func()) {
+	//lint:allow goroutinescope fixture-sanctioned fire-and-forget
+	go work()
+}
+
+// spawnMissingReason: a reasonless directive is malformed, suppresses
+// nothing, and is itself reported.
+func spawnMissingReason(work func()) {
+	//lint:allow goroutinescope
+	go work()
+}
+
+// spawnBare has no directive: the finding stands.
+func spawnBare(work func()) {
+	go work()
+}
+
+// unusedDirective suppresses nothing on its line or the next: stale
+// allowlists are findings too.
+func unusedDirective() int {
+	//lint:allow goroutinescope retired case kept for the unused-check
+	return 1
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -55,6 +56,7 @@ func Handler(r *Registry) http.Handler {
 type OpsServer struct {
 	ln  net.Listener
 	srv *http.Server
+	wg  sync.WaitGroup
 }
 
 // Serve starts the ops endpoint on addr (use "127.0.0.1:0" for an
@@ -68,12 +70,22 @@ func Serve(addr string, r *Registry) (*OpsServer, error) {
 		Handler:           Handler(r),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	go func() { _ = srv.Serve(ln) }()
-	return &OpsServer{ln: ln, srv: srv}, nil
+	s := &OpsServer{ln: ln, srv: srv}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
 }
 
 // Addr returns the endpoint's bound address.
 func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *OpsServer) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down and joins the accept loop, so no
+// goroutine outlives the server handle.
+func (s *OpsServer) Close() error {
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
