@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: all check build vet lint privlint lint-report staticcheck tools test race cover bench bench-smoke bench-shard experiments examples fuzz chaos shard durability clean
+.PHONY: all check build vet lint privlint lint-report staticcheck tools test race cover bench bench-smoke bench-shard load experiments examples fuzz chaos shard durability clean
 
 all: build vet test
 
@@ -86,12 +86,29 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/estimator ./internal/core ./internal/wire | tee results/bench-index.txt
 	$(GO) test -bench='Telemetry|AnswerBatch|EstimateFlatIndex|EstimateIndexBatch' -benchmem -run=NONE ./internal/core ./internal/estimator | tee results/bench-telemetry.txt
 	$(GO) run ./cmd/benchjson -o results/bench-telemetry.json results/bench-telemetry.txt
+	$(GO) test -bench='BenchmarkServer' -benchmem -run=NONE ./internal/market | tee results/bench-serving.txt
 
 # bench-smoke compiles every benchmark and runs each for exactly one
 # iteration — the CI guard that keeps the bench suite building and
 # runnable without paying for stable timings.
 bench-smoke:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE ./internal/estimator ./internal/core ./internal/wire
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE ./internal/estimator ./internal/core ./internal/wire ./internal/market
+
+# load is the serving-path gate: cmd/privload self-hosts a marketplace
+# and drives the same open-loop workload through the serial baseline
+# (legacy client, no coalescing) and the pipelined + coalesced path,
+# recording before/after throughput and p50/p99/p999 latency in
+# results/bench-load.{txt,json}. privload exits non-zero when a phase
+# sheds or fails (nearly) everything, or when requests are still
+# outstanding long after the phase ends — so a wedged or
+# shed-everything serving path fails CI instead of hanging it. The
+# transport micro-benchmarks (serial vs pipelined exchange, lazy vs
+# eager deadline re-arm) land in results/bench-serving.txt via the
+# bench target.
+load:
+	@mkdir -p results
+	$(GO) run ./cmd/privload -rate 4000 -duration 2s -conns 8 \
+		-o results/bench-load.json -txt results/bench-load.txt
 
 # bench-shard records 1-vs-S shard throughput (scatter-gather batch
 # release and collection rounds) in results/bench-shard.txt plus a

@@ -1,0 +1,557 @@
+// Command privload is an open-loop load generator for the trading
+// protocol: it fires quote/buy/deposit/balance requests at a fixed
+// arrival rate (arrivals are scheduled by the clock, never by
+// completions — the generator models independent customers, not a
+// closed feedback loop), measures client-side latency percentiles
+// (p50/p90/p99/p999) and achieved throughput, and scrapes the server's
+// telemetry snapshot for the broker-side view (purchases, shed count,
+// coalesced batches).
+//
+// By default it self-hosts a marketplace in-process and runs two
+// phases on identical workloads — the serial baseline (legacy
+// one-at-a-time client, no coalescing) and the pipelined path
+// (pipelined client, buy coalescing) — so the throughput win of the
+// serving path is measured, not asserted. Point it at an external
+// daemon with -addr to load-test a running privranged instead.
+//
+// Usage:
+//
+//	privload [-rate 2000] [-duration 3s] [-conns 8]
+//	         [-mix buy=60,quote=30,deposit=5,balance=5]
+//	         [-o results/bench-load.json] [-txt results/bench-load.txt]
+//	         [-addr host:port] [-pipeline] [-min-success 0.05]
+//
+// Exit status is non-zero when the load run sheds or fails everything
+// (the CI smoke gate) or when a phase deadlocks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"privrange"
+	"privrange/internal/dataset"
+	"privrange/internal/market"
+	"privrange/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target an external daemon (default: self-host in-process)")
+		rate     = flag.Float64("rate", 2000, "target arrival rate, requests/second")
+		duration = flag.Duration("duration", 3*time.Second, "length of each load phase")
+		conns    = flag.Int("conns", 8, "client connections")
+		mix      = flag.String("mix", "buy=60,quote=30,deposit=5,balance=5", "operation mix as op=weight pairs")
+		pipeline = flag.Bool("pipeline", true, "use the pipelined client (external-target mode)")
+		outst    = flag.Int("outstanding", 512, "client-side cap on in-flight requests")
+		alpha    = flag.Float64("alpha", 0.1, "buy accuracy α")
+		delta    = flag.Float64("delta", 0.8, "buy accuracy δ")
+		records  = flag.Int("records", 5000, "self-hosted dataset size")
+		nodes    = flag.Int("nodes", 16, "self-hosted IoT nodes")
+		seed     = flag.Int64("seed", 7, "workload and dataset seed")
+		minOK    = flag.Float64("min-success", 0.05, "fail unless this fraction of sent requests succeeded (smoke gate)")
+		jsonOut  = flag.String("o", "", "write the machine-readable report here (e.g. results/bench-load.json)")
+		txtOut   = flag.String("txt", "", "write the human-readable report here too")
+	)
+	flag.Parse()
+	cfg := config{
+		addr: *addr, rate: *rate, duration: *duration, conns: *conns,
+		pipeline: *pipeline, outstanding: *outst,
+		alpha: *alpha, delta: *delta, records: *records, nodes: *nodes,
+		seed: *seed,
+	}
+	var err error
+	cfg.mix, err = parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "privload: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, *minOK, *jsonOut, *txtOut); err != nil {
+		fmt.Fprintf(os.Stderr, "privload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr        string
+	rate        float64
+	duration    time.Duration
+	conns       int
+	pipeline    bool
+	outstanding int
+	alpha       float64
+	delta       float64
+	records     int
+	nodes       int
+	seed        int64
+	mix         []mixEntry
+}
+
+type mixEntry struct {
+	op     string
+	weight int
+}
+
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
+		}
+		switch op {
+		case "buy", "quote", "deposit", "balance", "catalog":
+		default:
+			return nil, fmt.Errorf("mix op %q not in {buy, quote, deposit, balance, catalog}", op)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("mix weight %q: want non-negative integer", w)
+		}
+		if n > 0 {
+			out = append(out, mixEntry{op: op, weight: n})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return out, nil
+}
+
+// latencyStats is the client-observed latency distribution, exact
+// percentiles over every completed request.
+type latencyStats struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// phaseReport is one load phase's outcome.
+type phaseReport struct {
+	Name        string            `json:"name"`
+	Pipelined   bool              `json:"pipelined"`
+	Coalesced   bool              `json:"coalesced"`
+	TargetQPS   float64           `json:"target_qps"`
+	AchievedQPS float64           `json:"achieved_qps"`
+	DurationSec float64           `json:"duration_sec"`
+	Sent        int64             `json:"sent"`
+	OK          int64             `json:"ok"`
+	Shed        int64             `json:"shed"`
+	Errors      int64             `json:"errors"`
+	Dropped     int64             `json:"client_dropped"`
+	Latency     latencyStats      `json:"latency"`
+	Server      map[string]uint64 `json:"server,omitempty"`
+}
+
+// report is the bench-load.json schema later PRs diff against.
+type report struct {
+	Tool     string        `json:"tool"`
+	RateQPS  float64       `json:"rate_qps"`
+	Duration string        `json:"duration"`
+	Conns    int           `json:"conns"`
+	Mix      string        `json:"mix"`
+	Phases   []phaseReport `json:"phases"`
+}
+
+func run(cfg config, minOK float64, jsonOut, txtOut string) error {
+	rep := report{
+		Tool:     "privload",
+		RateQPS:  cfg.rate,
+		Duration: cfg.duration.String(),
+		Conns:    cfg.conns,
+		Mix:      mixString(cfg.mix),
+	}
+	if cfg.addr != "" {
+		// External target: one phase against the given daemon.
+		pr, err := runPhase(cfg, phaseSpec{
+			name: "external", addr: cfg.addr, pipelined: cfg.pipeline,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Phases = append(rep.Phases, pr)
+	} else {
+		// Self-hosted comparison: serial baseline, then the pipelined +
+		// coalesced serving path, each against a fresh marketplace so
+		// budgets and caches never bleed between phases.
+		for _, spec := range []phaseSpec{
+			{name: "baseline-serial", pipelined: false, coalesced: false},
+			{name: "pipelined-coalesced", pipelined: true, coalesced: true},
+		} {
+			host, err := selfHost(cfg, spec.coalesced)
+			if err != nil {
+				return err
+			}
+			spec.addr = host.addr
+			spec.opsAddr = host.opsAddr
+			pr, err := runPhase(cfg, spec)
+			host.close()
+			if err != nil {
+				return err
+			}
+			rep.Phases = append(rep.Phases, pr)
+		}
+	}
+
+	text := formatReport(rep)
+	fmt.Print(text)
+	if txtOut != "" {
+		if err := writeFile(txtOut, []byte(text)); err != nil {
+			return err
+		}
+	}
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(jsonOut, append(blob, '\n')); err != nil {
+			return err
+		}
+	}
+
+	// Smoke gate: a serving path that sheds or fails everything is a
+	// regression even if nothing crashed.
+	for _, pr := range rep.Phases {
+		if pr.Sent == 0 {
+			return fmt.Errorf("phase %s sent nothing", pr.Name)
+		}
+		if frac := float64(pr.OK) / float64(pr.Sent); frac < minOK {
+			return fmt.Errorf("phase %s: only %.1f%% of %d requests succeeded (ok %d, shed %d, errors %d) — below the %.1f%% smoke gate",
+				pr.Name, 100*frac, pr.Sent, pr.OK, pr.Shed, pr.Errors, 100*minOK)
+		}
+	}
+	return nil
+}
+
+func mixString(mix []mixEntry) string {
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = fmt.Sprintf("%s=%d", m.op, m.weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+func writeFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// selfHosted is an in-process marketplace plus its trading and ops
+// endpoints.
+type selfHosted struct {
+	addr    string
+	opsAddr string
+	close   func()
+}
+
+var loadCustomers = []string{"ada", "bob", "cyd", "dee", "eli", "fay"}
+
+func selfHost(cfg config, coalesce bool) (*selfHosted, error) {
+	mp, err := privrange.NewMarketplace(privrange.Tariff{C: 100})
+	if err != nil {
+		return nil, err
+	}
+	mp.EnablePrepaid()
+	mp.EnableTelemetry()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: cfg.seed, Records: cfg.records})
+	if err != nil {
+		return nil, err
+	}
+	if err := mp.AddDataset("air", series.Values, privrange.Options{Nodes: cfg.nodes, Seed: cfg.seed}); err != nil {
+		return nil, err
+	}
+	for _, cust := range loadCustomers {
+		if err := mp.Deposit(cust, 1e12); err != nil {
+			return nil, err
+		}
+	}
+	if coalesce {
+		mp.EnableCoalescing(privrange.CoalesceConfig{})
+	}
+	srv, err := mp.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ops, err := mp.ServeOps("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &selfHosted{
+		addr:    srv.Addr(),
+		opsAddr: ops.Addr(),
+		close: func() {
+			srv.Close()
+			ops.Close()
+			mp.DisableCoalescing()
+		},
+	}, nil
+}
+
+type phaseSpec struct {
+	name      string
+	addr      string
+	opsAddr   string
+	pipelined bool
+	coalesced bool
+}
+
+// runPhase drives one open-loop load phase and reports it.
+func runPhase(cfg config, spec phaseSpec) (phaseReport, error) {
+	pr := phaseReport{
+		Name: spec.name, Pipelined: spec.pipelined, Coalesced: spec.coalesced,
+		TargetQPS: cfg.rate,
+	}
+	clients := make([]*market.Client, cfg.conns)
+	dialOpts := []market.DialOption{market.WithRequestTimeout(10 * time.Second)}
+	if spec.pipelined {
+		dialOpts = append(dialOpts, market.WithPipelining())
+	}
+	for i := range clients {
+		c, err := market.Dial(spec.addr, dialOpts...)
+		if err != nil {
+			return pr, fmt.Errorf("dial %s: %w", spec.addr, err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	var (
+		mu             sync.Mutex
+		latencies      []time.Duration
+		ok, shed, errs int64
+	)
+	sem := make(chan struct{}, cfg.outstanding)
+	var wg sync.WaitGroup
+	rng := stats.NewRNG(cfg.seed)
+	dataset := "air"
+	if cfg.addr != "" {
+		dataset = externalDataset(clients[0])
+	}
+	weightSum := 0
+	for _, m := range cfg.mix {
+		weightSum += m.weight
+	}
+
+	start := time.Now()
+	end := start.Add(cfg.duration)
+	var sent, dropped int64
+	for i := int64(0); ; i++ {
+		due := start.Add(time.Duration(float64(i) / cfg.rate * float64(time.Second)))
+		if due.After(end) {
+			break
+		}
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		req := buildRequest(rng, cfg, dataset, weightSum)
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop: the arrival happened whether or not the client
+			// had capacity. Refusing to queue it unboundedly mirrors a
+			// real customer giving up.
+			dropped++
+			continue
+		}
+		sent++
+		client := clients[int(i)%len(clients)]
+		wg.Add(1)
+		go func(req market.Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lat)
+			switch {
+			case err != nil:
+				errs++
+			case resp.Retryable:
+				shed++
+			case resp.Error != "":
+				errs++
+			default:
+				ok++
+			}
+		}(req)
+	}
+
+	// Deadlock gate: every request carries a 10s client timeout, so a
+	// drain that outlives duration + timeout + slack means the serving
+	// path wedged — fail loudly instead of hanging CI.
+	done := make(chan struct{})
+	//lint:allow goroutinescope exits when the last worker finishes; on the timeout path below main exits the process
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.duration + 30*time.Second):
+		return pr, fmt.Errorf("phase %s: requests still outstanding 30s after the phase ended (deadlock?)", spec.name)
+	}
+	elapsed := time.Since(start)
+
+	pr.Sent, pr.OK, pr.Shed, pr.Errors, pr.Dropped = sent, ok, shed, errs, dropped
+	pr.DurationSec = elapsed.Seconds()
+	pr.AchievedQPS = float64(ok+shed+errs) / elapsed.Seconds()
+	pr.Latency = percentiles(latencies)
+	if spec.opsAddr != "" {
+		pr.Server = scrapeServer(spec.opsAddr)
+	}
+	return pr, nil
+}
+
+// externalDataset picks the first catalog entry of an external target.
+func externalDataset(c *market.Client) string {
+	if infos, err := c.Catalog(); err == nil && len(infos) > 0 {
+		return infos[0].Name
+	}
+	return "air"
+}
+
+func buildRequest(rng *stats.RNG, cfg config, ds string, weightSum int) market.Request {
+	pick := rng.Intn(weightSum)
+	op := cfg.mix[0].op
+	for _, m := range cfg.mix {
+		if pick < m.weight {
+			op = m.op
+			break
+		}
+		pick -= m.weight
+	}
+	cust := loadCustomers[rng.Intn(len(loadCustomers))]
+	switch op {
+	case "buy":
+		l := float64(rng.Intn(400))
+		return market.Request{
+			Op: "buy", Dataset: ds, Customer: cust,
+			L: l, U: l + 50 + float64(rng.Intn(200)),
+			Alpha: cfg.alpha, Delta: cfg.delta,
+		}
+	case "quote":
+		return market.Request{Op: "quote", Dataset: ds, Alpha: cfg.alpha, Delta: cfg.delta}
+	case "deposit":
+		return market.Request{Op: "deposit", Customer: cust, Amount: 10}
+	case "balance":
+		return market.Request{Op: "balance", Customer: cust}
+	default:
+		return market.Request{Op: "catalog"}
+	}
+}
+
+func percentiles(lat []time.Duration) latencyStats {
+	if len(lat) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx]) / float64(time.Millisecond)
+	}
+	return latencyStats{
+		P50Ms:  at(0.50),
+		P90Ms:  at(0.90),
+		P99Ms:  at(0.99),
+		P999Ms: at(0.999),
+		MaxMs:  float64(lat[len(lat)-1]) / float64(time.Millisecond),
+	}
+}
+
+// scrapeServer pulls the broker-side counters worth archiving from the
+// ops snapshot (PR 5 telemetry): requests by op, purchases, shed and
+// coalescing activity.
+func scrapeServer(opsAddr string) map[string]uint64 {
+	resp, err := http.Get("http://" + opsAddr + "/snapshot")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name   string `json:"name"`
+			Labels string `json:"labels"`
+			Value  uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	keep := map[string]bool{
+		"privrange_market_requests_total":         true,
+		"privrange_market_purchases_total":        true,
+		"privrange_market_rejections_total":       true,
+		"privrange_market_shed_total":             true,
+		"privrange_market_coalesce_batches_total": true,
+		"privrange_market_coalesce_folded_total":  true,
+		"privrange_market_oversized_frames_total": true,
+		"privrange_market_decode_failures_total":  true,
+	}
+	out := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		if !keep[c.Name] {
+			continue
+		}
+		key := strings.TrimPrefix(c.Name, "privrange_market_") + c.Labels
+		out[key] += c.Value
+	}
+	return out
+}
+
+func formatReport(rep report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "privload: %s for %s on %d conns, mix %s\n",
+		qpsString(rep.RateQPS), rep.Duration, rep.Conns, rep.Mix)
+	for _, pr := range rep.Phases {
+		fmt.Fprintf(&b, "\nphase %-20s pipelined=%v coalesced=%v\n", pr.Name, pr.Pipelined, pr.Coalesced)
+		fmt.Fprintf(&b, "  sent %d  ok %d  shed %d  errors %d  client-dropped %d\n",
+			pr.Sent, pr.OK, pr.Shed, pr.Errors, pr.Dropped)
+		fmt.Fprintf(&b, "  achieved %s (target %s)\n", qpsString(pr.AchievedQPS), qpsString(pr.TargetQPS))
+		fmt.Fprintf(&b, "  latency ms  p50 %.3f  p90 %.3f  p99 %.3f  p999 %.3f  max %.3f\n",
+			pr.Latency.P50Ms, pr.Latency.P90Ms, pr.Latency.P99Ms, pr.Latency.P999Ms, pr.Latency.MaxMs)
+		if len(pr.Server) > 0 {
+			keys := make([]string, 0, len(pr.Server))
+			for k := range pr.Server {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "  server:")
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%d", k, pr.Server[k])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	if len(rep.Phases) == 2 {
+		base, pipe := rep.Phases[0], rep.Phases[1]
+		if base.AchievedQPS > 0 {
+			fmt.Fprintf(&b, "\nspeedup: %.2fx achieved QPS (%s -> %s)\n",
+				pipe.AchievedQPS/base.AchievedQPS, qpsString(base.AchievedQPS), qpsString(pipe.AchievedQPS))
+		}
+	}
+	return b.String()
+}
+
+func qpsString(q float64) string {
+	return strconv.FormatFloat(q, 'f', 1, 64) + " qps"
+}

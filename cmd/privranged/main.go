@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"privrange"
 	"privrange/internal/dataset"
@@ -25,27 +26,32 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		data    = flag.String("data", "", "CityPulse-style CSV to serve (default: generate synthetic)")
-		nodes   = flag.Int("nodes", 16, "simulated IoT nodes per dataset")
-		seed    = flag.Int64("seed", 1, "seed for generation, sampling and noise")
-		baseFee = flag.Float64("base-fee", 1, "flat per-query fee")
-		tariffC = flag.Float64("tariff-c", 1e9, "1/V tariff coefficient")
-		budget  = flag.Float64("budget", 0, "total privacy budget cap per dataset (0 = uncapped)")
-		prepaid = flag.Bool("prepaid", false, "require prepaid customer accounts (privquery deposit)")
-		state   = flag.String("state", "", "trading-state snapshot file (loaded on boot, saved on shutdown)")
-		wal     = flag.String("wal", "", "durability directory: journal every trade before acking, recover on boot (excludes -state)")
-		custCap = flag.Float64("customer-cap", 0, "per-customer privacy cap per dataset (0 = uncapped)")
-		ops     = flag.String("ops", "", "operational HTTP endpoint address (metrics, snapshot, pprof); empty disables")
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		data     = flag.String("data", "", "CityPulse-style CSV to serve (default: generate synthetic)")
+		nodes    = flag.Int("nodes", 16, "simulated IoT nodes per dataset")
+		seed     = flag.Int64("seed", 1, "seed for generation, sampling and noise")
+		baseFee  = flag.Float64("base-fee", 1, "flat per-query fee")
+		tariffC  = flag.Float64("tariff-c", 1e9, "1/V tariff coefficient")
+		budget   = flag.Float64("budget", 0, "total privacy budget cap per dataset (0 = uncapped)")
+		prepaid  = flag.Bool("prepaid", false, "require prepaid customer accounts (privquery deposit)")
+		state    = flag.String("state", "", "trading-state snapshot file (loaded on boot, saved on shutdown)")
+		wal      = flag.String("wal", "", "durability directory: journal every trade before acking, recover on boot (excludes -state)")
+		custCap  = flag.Float64("customer-cap", 0, "per-customer privacy cap per dataset (0 = uncapped)")
+		ops      = flag.String("ops", "", "operational HTTP endpoint address (metrics, snapshot, pprof); empty disables")
+		coalesce = flag.Bool("coalesce", false, "fold concurrent buys into batch sales (adds up to -coalesce-window latency)")
+		coWindow = flag.Duration("coalesce-window", time.Millisecond, "longest a buy waits for batch companions")
+		inflight = flag.Int("max-inflight", 1024, "admission cap on concurrent requests (-1 disables shedding)")
+		depth    = flag.Int("pipeline-depth", 64, "pipelined requests in flight per connection")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *wal, *custCap, *ops); err != nil {
+	serveCfg := privrange.ServeConfig{MaxInFlight: *inflight, PipelineDepth: *depth}
+	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *wal, *custCap, *ops, *coalesce, *coWindow, serveCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "privranged: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath, walDir string, custCap float64, opsAddr string) error {
+func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath, walDir string, custCap float64, opsAddr string, coalesce bool, coWindow time.Duration, serveCfg privrange.ServeConfig) error {
 	if walDir != "" && statePath != "" {
 		return fmt.Errorf("-wal and -state are exclusive: the WAL directory carries its own snapshot")
 	}
@@ -101,7 +107,12 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 			return err
 		}
 	}
-	srv, err := mp.Serve(addr)
+	if coalesce {
+		mp.EnableCoalescing(privrange.CoalesceConfig{Window: coWindow})
+		defer mp.DisableCoalescing()
+		fmt.Printf("privranged: coalescing concurrent buys (window %v)\n", coWindow)
+	}
+	srv, err := mp.ServeWith(addr, serveCfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"privrange/internal/dp"
+	"privrange/internal/estimator"
+	"privrange/internal/optimize"
+	"privrange/internal/telemetry"
+)
+
+// BatchOutcome is one query's result from AnswerBatchSerial: exactly one
+// of Answer or Err is set, mirroring what a serial Answer call for that
+// query would have returned.
+type BatchOutcome struct {
+	Answer *Answer
+	Err    error
+}
+
+// AnswerBatchSerial serves many range queries at one shared accuracy
+// level with release semantics bit-identical to calling Answer(q[i])
+// serially in order: one noise draw from the engine RNG and one
+// accountant charge per released query, outcomes independent per query
+// (an exhausted budget fails the remaining queries exactly where the
+// serial loop would), and the answer cache — when enabled — consulted
+// and populated in query order, so an in-batch duplicate hits the store
+// of its predecessor just as it would across serial calls.
+//
+// It exists for the market's buy-coalescing path, which must fold
+// concurrent single-query sales into one estimation pass while keeping
+// released values, ε accounting and per-customer bookkeeping
+// indistinguishable from the serial oracle. AnswerBatch keeps the
+// original batch contract (one keyed draw for the whole batch,
+// all-or-nothing budget) for callers that want batch semantics.
+//
+// The throughput win is shared with AnswerBatch: estimation for every
+// non-cached query runs through the tiled flat-index kernel in one
+// call, so per-query cost collapses to a pair of binary searches per
+// node plus the (cheap) per-query release step.
+func (e *Engine) AnswerBatchSerial(queries []estimator.Query, acc estimator.Accuracy) ([]BatchOutcome, error) {
+	m := e.tele.Load()
+	var tr telemetry.Trace
+	m.begin(&tr, "core.answer_batch_serial")
+	out, outcome, indexed, released, err := e.answerBatchSerial(queries, acc, m, &tr)
+	m.finishBatch(&tr, outcome, indexed, released)
+	return out, err
+}
+
+// answerBatchSerial is the pipeline behind AnswerBatchSerial. The
+// returned error covers only whole-call misuse (an empty batch);
+// everything else lands in per-query outcomes so callers can settle
+// each underlying sale independently.
+func (e *Engine) answerBatchSerial(queries []estimator.Query, acc estimator.Accuracy, m *Metrics, tr *telemetry.Trace) (out []BatchOutcome, outcome string, indexed bool, released int, err error) {
+	if len(queries) == 0 {
+		return nil, outcomeInvalid, false, 0, fmt.Errorf("core: empty batch")
+	}
+	out = make([]BatchOutcome, len(queries))
+	// valid[i] marks queries that passed validation; invalid ones fail
+	// with the bare validation error a serial Answer would return.
+	valid := make([]bool, len(queries))
+	anyValid := false
+	for i, q := range queries {
+		if verr := q.Validate(); verr != nil {
+			out[i].Err = verr
+			continue
+		}
+		valid[i] = true
+		anyValid = true
+	}
+	if !anyValid {
+		return out, outcomeInvalid, false, 0, nil
+	}
+	snap := e.readSnapshot()
+	tr.Mark("sample_lookup")
+	// Upfront cache probe: a query already answered under this exact
+	// dataset state needs no plan, no estimate and no draw — the serial
+	// path would have returned the cached copy before ever planning.
+	// Each occurrence gets its own defensive copy, exactly like serial
+	// lookups. Hit/miss metrics for misses are deferred to the release
+	// loop, where an in-batch duplicate may still hit a predecessor's
+	// store; upfront hits are counted here (their one and only lookup).
+	cached := make([]*Answer, len(queries))
+	needEstimate := false
+	for i := range queries {
+		if !valid[i] {
+			continue
+		}
+		if e.cache != nil {
+			if hit, ok := e.cache.lookup(queries[i], acc, snap); ok {
+				cached[i] = hit
+				m.noteCacheLookup(true)
+				continue
+			}
+		}
+		needEstimate = true
+	}
+	var (
+		plan optimize.Plan
+		mech dp.Mechanism
+		raws []float64
+	)
+	if needEstimate {
+		p, planSnap, perr := e.planFor(acc, snap)
+		tr.Mark("optimize")
+		if perr != nil {
+			// The plan depends only on (α, δ) and the deployment state,
+			// so a planning failure is what every serial call would
+			// have hit. Cached hits survive — their serial calls never
+			// reached the planner.
+			for i := range queries {
+				if valid[i] && cached[i] == nil {
+					out[i].Err = perr
+				}
+			}
+			return out, outcomeError, false, 0, nil
+		}
+		if snapChanged(snap, planSnap) {
+			// Auto-collection moved the dataset state: every cache
+			// entry probed above is now stale, exactly as a serial
+			// loop's later lookups would find after the first query
+			// triggered collection. Re-estimate everything.
+			for i := range cached {
+				cached[i] = nil
+			}
+		}
+		snap = planSnap
+		plan = p
+		indexed = snap.idx != nil
+		mech, err = dp.NewMechanism(p.Epsilon, p.Sensitivity)
+		if err != nil {
+			for i := range queries {
+				if valid[i] && cached[i] == nil {
+					out[i].Err = err
+				}
+			}
+			return out, outcomeError, indexed, 0, nil
+		}
+		// Estimate every valid non-cached query in one kernel pass.
+		// Estimation is pure — no budget, no RNG — so estimating an
+		// in-batch duplicate that later hits the cache wastes only
+		// cycles, never correctness.
+		var batch []estimator.Query
+		slot := make([]int, 0, len(queries))
+		for i := range queries {
+			if valid[i] && cached[i] == nil {
+				batch = append(batch, queries[i])
+				slot = append(slot, i)
+			}
+		}
+		raws = make([]float64, len(queries))
+		dst := make([]float64, len(batch))
+		if eerr := rankEstimateBatch(snap, batch, dst); eerr != nil {
+			for _, i := range slot {
+				out[i].Err = eerr
+			}
+			return out, outcomeError, indexed, 0, nil
+		}
+		for bi, i := range slot {
+			raws[i] = dst[bi]
+		}
+		tr.Mark("estimate")
+	}
+	// Release phase: one critical section for the whole batch, walking
+	// queries in order. Per query this performs exactly the serial
+	// sequence — cache lookup, Spend(ε′), one Perturb draw, cache store
+	// — so for a fixed seed the values, the accountant's float
+	// accumulation and the noise stream position are bit-identical to
+	// the serial loop. Holding releaseMu once (instead of once per
+	// query) additionally makes the batch atomic against other
+	// releases, which is what lets the market linearize a coalesced
+	// sale against its serial oracle.
+	e.releaseMu.Lock()
+	for i := range queries {
+		if !valid[i] {
+			continue
+		}
+		if cached[i] != nil {
+			out[i].Answer = cached[i]
+			continue
+		}
+		if e.cache != nil {
+			if hit, ok := e.cache.lookup(queries[i], acc, snap); ok {
+				// An earlier query in this batch released and stored
+				// the same (range, accuracy): serve the copy for free,
+				// as the serial loop would.
+				m.noteCacheLookup(true)
+				out[i].Answer = hit
+				continue
+			}
+			m.noteCacheLookup(false)
+		}
+		if e.accountant != nil {
+			if serr := e.accountant.Spend(plan.EpsilonPrime); serr != nil {
+				out[i].Err = serr
+				continue
+			}
+		}
+		ans := &Answer{
+			Query:             queries[i],
+			Accuracy:          acc,
+			Value:             mech.Perturb(raws[i], e.rng),
+			Plan:              plan,
+			Rate:              snap.rate,
+			Nodes:             snap.nodes,
+			N:                 snap.n,
+			Coverage:          snap.coverage,
+			CollectionVersion: snap.version,
+		}
+		e.cache.store(ans, snap)
+		out[i].Answer = ans
+		released++
+	}
+	e.releaseMu.Unlock()
+	tr.Mark("perturb")
+	switch {
+	case released == 0 && !needEstimate:
+		return out, outcomeCacheHit, indexed, released, nil
+	case released == 0:
+		// Estimation ran but nothing was released (budget exhausted or
+		// every query invalid before the spend).
+		return out, outcomeError, indexed, released, nil
+	case snap.coverage < 1:
+		return out, outcomeDegraded, indexed, released, nil
+	default:
+		return out, outcomeOK, indexed, released, nil
+	}
+}
+
+// snapChanged reports whether auto-collection replaced the dataset
+// state between two snapshot captures (identity of the released
+// provenance fields, the same validity key the answer cache uses).
+func snapChanged(a, b snapshot) bool {
+	return a.n != b.n || a.rate != b.rate || a.version != b.version || a.coverage != b.coverage
+}

@@ -1,0 +1,243 @@
+package market
+
+import (
+	"fmt"
+
+	"privrange/internal/estimator"
+	"privrange/internal/telemetry"
+)
+
+// saleResult is one buy's settlement from a coalesced batch: the
+// response a serial Buy would have returned, or the error it would
+// have failed with.
+type saleResult struct {
+	resp  *Response
+	price float64
+	err   error
+}
+
+// sellBatch settles many single-query buys against one dataset at one
+// accuracy level as a single batch sale. The outcome is bit-for-bit
+// indistinguishable from executing the same buys serially in slice
+// order: each sale gets its own sale id, debit, WAL records, receipt
+// (ids assigned in slice order), cap check against the ledger as of
+// its predecessors, and exactly one noise draw and one accountant
+// charge via core.AnswerBatchSerial — only the estimation kernel is
+// shared and the group-commit fsync covers the whole batch instead of
+// one sale.
+//
+// traces, when non-nil, carries one per-buy trace begun by the caller
+// (the coalescer starts them at enqueue so queue wait is part of the
+// recorded latency); sellBatch closes every trace via finishBuy.
+func (b *Broker) sellBatch(reqs []Request, traces []*telemetry.Trace) []saleResult {
+	m := b.tele.Load()
+	out := make([]saleResult, len(reqs))
+	if traces == nil {
+		traces = make([]*telemetry.Trace, len(reqs))
+	}
+	for i := range traces {
+		if traces[i] == nil {
+			traces[i] = &telemetry.Trace{}
+			m.begin(traces[i], "market.buy")
+		}
+	}
+	b.sellBatchInner(reqs, traces, out)
+	for i := range out {
+		m.finishBuy(traces[i], out[i].err == nil, out[i].price)
+	}
+	b.maybeCompact()
+	return out
+}
+
+func (b *Broker) sellBatchInner(reqs []Request, traces []*telemetry.Trace, out []saleResult) {
+	// Validation and pricing, per sale in order. The batch shares one
+	// dataset and accuracy (the coalescer keys on them), so the quote
+	// is computed once — the tariff is deterministic, every serial sale
+	// would have priced identically.
+	alive := make([]bool, len(reqs))
+	anyAlive := false
+	for i := range reqs {
+		reqs[i].Op = "buy"
+		if err := reqs[i].Validate(); err != nil {
+			out[i].err = err
+			continue
+		}
+		alive[i] = true
+		anyAlive = true
+	}
+	if !anyAlive {
+		return
+	}
+	first := -1
+	for i := range reqs {
+		if alive[i] {
+			first = i
+			break
+		}
+	}
+	ds, err := b.dataset(reqs[first].Dataset)
+	if err != nil {
+		failAlive(out, alive, err)
+		return
+	}
+	price, variance, err := b.Quote(reqs[first].Dataset, reqs[first].Accuracy())
+	for i := range reqs {
+		if alive[i] {
+			traces[i].Mark("price")
+		}
+	}
+	if err != nil {
+		failAlive(out, alive, err)
+		return
+	}
+	// The debit→record span holds the commit lock shared, like every
+	// serial sale: a snapshot (SaveState, compaction) waits for the
+	// whole batch and never captures a half-settled sale.
+	b.commitMu.RLock()
+	defer b.commitMu.RUnlock()
+	wallets := b.walletStore()
+	sales := make([]uint64, len(reqs))
+	for i := range reqs {
+		if !alive[i] {
+			continue
+		}
+		sales[i] = b.nextSale()
+		if wallets != nil {
+			if derr := wallets.debit(reqs[i].Customer, price); derr != nil {
+				out[i].err = derr
+				alive[i] = false
+				continue
+			}
+			if jerr := b.journal(WALRecord{Op: opDebit, Sale: sales[i], Customer: reqs[i].Customer, Amount: price}); jerr != nil {
+				wallets.refund(reqs[i].Customer, price)
+				out[i].err = jerr
+				alive[i] = false
+				continue
+			}
+		}
+		traces[i].Mark("debit")
+	}
+	queries, slots := aliveQueries(reqs, alive)
+	if len(queries) == 0 {
+		return
+	}
+	answers, err := ds.engine.AnswerBatchSerial(queries, reqs[first].Accuracy())
+	if err != nil {
+		// Whole-call misuse cannot happen (the batch is non-empty and
+		// validated), but a future engine error must still settle every
+		// debited sale.
+		for _, i := range slots {
+			b.rollbackSale(wallets, sales[i], reqs[i].Customer, price)
+			out[i].err = err
+		}
+		return
+	}
+	for bi, i := range slots {
+		traces[i].Mark("answer")
+		if aerr := answers[bi].Err; aerr != nil {
+			b.rollbackSale(wallets, sales[i], reqs[i].Customer, price)
+			out[i].err = aerr
+			alive[i] = false
+		}
+	}
+	// Commit, per sale in slice order: the cap check must see the
+	// receipts of same-customer predecessors in this batch exactly as a
+	// later serial sale would see its forerunners in the ledger, so cap
+	// check and record interleave per sale instead of running as
+	// separate phases.
+	synced := make([]int, 0, len(slots))
+	for bi, i := range slots {
+		if !alive[i] {
+			continue
+		}
+		ans := answers[bi].Answer
+		if cap := b.customerPrivacyCap(); cap > 0 {
+			spent := b.ledger.PrivacySpentByCustomer(reqs[i].Customer, reqs[i].Dataset)
+			if spent+ans.Plan.EpsilonPrime > cap {
+				if werr := b.withholdSale(wallets, sales[i], reqs[i], price, ans.Plan.EpsilonPrime); werr != nil {
+					out[i].err = werr
+					continue
+				}
+				out[i].err = fmt.Errorf("market: customer %q would exceed the per-customer privacy cap on %q (%.4f + %.4f > %.4f)",
+					reqs[i].Customer, reqs[i].Dataset, spent, ans.Plan.EpsilonPrime, cap)
+				continue
+			}
+		}
+		b.recordMu.Lock()
+		receipt := b.ledger.Record(Receipt{
+			Customer:     reqs[i].Customer,
+			Dataset:      reqs[i].Dataset,
+			L:            reqs[i].L,
+			U:            reqs[i].U,
+			Alpha:        reqs[i].Alpha,
+			Delta:        reqs[i].Delta,
+			Variance:     variance,
+			Price:        price,
+			EpsilonPrime: ans.Plan.EpsilonPrime,
+			Coverage:     ans.Coverage,
+		})
+		spendErr := b.journal(WALRecord{Op: opSpend, Sale: sales[i], Dataset: reqs[i].Dataset, Epsilon: ans.Plan.EpsilonPrime})
+		receiptErr := b.journal(WALRecord{Op: opReceipt, Sale: sales[i], Receipt: &receipt})
+		b.recordMu.Unlock()
+		traces[i].Mark("record")
+		if spendErr != nil {
+			out[i].err = spendErr
+			continue
+		}
+		if receiptErr != nil {
+			out[i].err = receiptErr
+			continue
+		}
+		out[i] = saleResult{
+			resp: &Response{
+				OK:                true,
+				Price:             price,
+				Variance:          variance,
+				Value:             ans.Value,
+				Clamped:           ans.Clamped(),
+				Receipt:           &receipt,
+				EpsilonPrime:      ans.Plan.EpsilonPrime,
+				Rate:              ans.Rate,
+				Coverage:          ans.Coverage,
+				CollectionVersion: ans.CollectionVersion,
+			},
+			price: price,
+		}
+		synced = append(synced, i)
+	}
+	if len(synced) == 0 {
+		return
+	}
+	// One group-commit fsync makes every sale in the batch durable
+	// before any is acknowledged. The journaled records are identical
+	// to the serial path's; only the fsync count differs, and an fsync
+	// is not a record — replay cannot tell the difference.
+	if serr := b.journalSync(); serr != nil {
+		for _, i := range synced {
+			out[i] = saleResult{err: serr}
+		}
+	}
+}
+
+// failAlive fails every still-alive sale with one shared error.
+func failAlive(out []saleResult, alive []bool, err error) {
+	for i := range out {
+		if alive[i] {
+			out[i].err = err
+		}
+	}
+}
+
+// aliveQueries extracts the queries of still-alive sales plus the slot
+// mapping from batch position back to request index.
+func aliveQueries(reqs []Request, alive []bool) ([]estimator.Query, []int) {
+	var queries []estimator.Query
+	var slots []int
+	for i := range reqs {
+		if alive[i] {
+			queries = append(queries, reqs[i].Query())
+			slots = append(slots, i)
+		}
+	}
+	return queries, slots
+}

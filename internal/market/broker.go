@@ -50,6 +50,9 @@ type Broker struct {
 	// endpoint can attach them after the broker opened shop without
 	// racing in-flight sales); nil means record nothing.
 	tele atomic.Pointer[Metrics]
+	// coal, when non-nil, folds protocol buys into batch sales (see
+	// coalesce.go); nil keeps the serial path.
+	coal atomic.Pointer[Coalescer]
 }
 
 // SetTelemetry attaches marketplace metrics (nil detaches). Safe to
@@ -228,13 +231,21 @@ func (b *Broker) Quote(dataset string, acc estimator.Accuracy) (price, variance 
 // the receipt. The returned response carries the private value, the
 // price paid and the effective privacy budget consumed.
 func (b *Broker) Buy(req Request) (*Response, error) {
-	m := b.tele.Load()
 	var tr telemetry.Trace
-	m.begin(&tr, "market.buy")
-	resp, price, err := b.buy(req, &tr)
-	m.finishBuy(&tr, err == nil, price)
-	b.maybeCompact()
+	b.tele.Load().begin(&tr, "market.buy")
+	resp, _, err := b.buyTraced(req, &tr)
 	return resp, err
+}
+
+// buyTraced runs the serial sale pipeline under a caller-owned trace
+// (already begun) and closes it with the outcome. The coalescer's
+// post-Close fallback uses it so a drained coalescer still records
+// proper buy latencies.
+func (b *Broker) buyTraced(req Request, tr *telemetry.Trace) (*Response, float64, error) {
+	resp, price, err := b.buy(req, tr)
+	b.tele.Load().finishBuy(tr, err == nil, price)
+	b.maybeCompact()
+	return resp, price, err
 }
 
 // buy is the sale pipeline behind Buy; the wrapper owns the stack-held
@@ -440,6 +451,15 @@ func (b *Broker) Handle(req Request) *Response {
 		}
 		return &Response{OK: true, Price: price, Variance: variance}
 	case "buy":
+		// With a coalescer attached, concurrent protocol buys fold into
+		// batch sales; the settlement is bit-identical to serial Buy.
+		if co := b.coal.Load(); co != nil {
+			r := co.buy(req)
+			if r.err != nil {
+				return &Response{Error: r.err.Error()}
+			}
+			return r.resp
+		}
 		resp, err := b.Buy(req)
 		if err != nil {
 			return &Response{Error: err.Error()}

@@ -15,7 +15,7 @@ import (
 	"privrange/internal/pricing"
 )
 
-func buildEngine(t *testing.T, p dataset.Pollutant, k int, seed int64) (*core.Engine, *dataset.Series) {
+func buildEngine(t testing.TB, p dataset.Pollutant, k int, seed int64) (*core.Engine, *dataset.Series) {
 	t.Helper()
 	series, err := dataset.GenerateSeries(p, dataset.GenerateConfig{Seed: seed, Records: dataset.CityPulseRecords})
 	if err != nil {
@@ -36,7 +36,7 @@ func buildEngine(t *testing.T, p dataset.Pollutant, k int, seed int64) (*core.En
 	return eng, series
 }
 
-func buildBroker(t *testing.T, tariff pricing.Function) (*Broker, *dataset.Series) {
+func buildBroker(t testing.TB, tariff pricing.Function) (*Broker, *dataset.Series) {
 	t.Helper()
 	broker, err := NewBroker(tariff)
 	if err != nil {

@@ -25,12 +25,19 @@ type Metrics struct {
 	rejections *telemetry.Counter
 	revenue    *telemetry.Gauge
 
-	connsAccepted  *telemetry.Counter
-	connsActive    *telemetry.Gauge
-	acceptFailures *telemetry.Counter
-	decodeFailures *telemetry.Counter
-	bytesRead      *telemetry.Counter
-	bytesWritten   *telemetry.Counter
+	connsAccepted   *telemetry.Counter
+	connsActive     *telemetry.Gauge
+	acceptFailures  *telemetry.Counter
+	decodeFailures  *telemetry.Counter
+	oversizedFrames *telemetry.Counter
+	bytesRead       *telemetry.Counter
+	bytesWritten    *telemetry.Counter
+
+	// Admission control and buy coalescing (the serving path).
+	shedTotal       *telemetry.Counter
+	inflight        *telemetry.Gauge
+	coalesceBatches *telemetry.Counter
+	coalesceFolded  *telemetry.Counter
 
 	walAppends     *telemetry.Counter
 	walBytes       *telemetry.Counter
@@ -64,12 +71,18 @@ func NewMetrics(r *telemetry.Registry, labels ...telemetry.Label) *Metrics {
 		rejections: r.Counter("privrange_market_rejections_total", "buy requests refused (validation, funds, caps, engine failure)", labels...),
 		revenue:    r.Gauge("privrange_market_revenue", "cumulative revenue from completed sales", labels...),
 
-		connsAccepted:  r.Counter("privrange_market_connections_total", "TCP connections accepted", labels...),
-		connsActive:    r.Gauge("privrange_market_connections_active", "TCP connections currently served", labels...),
-		acceptFailures: r.Counter("privrange_market_accept_failures_total", "listener Accept errors (listener still serving)", labels...),
-		decodeFailures: r.Counter("privrange_market_decode_failures_total", "malformed protocol frames (connection still serving)", labels...),
-		bytesRead:      r.Counter("privrange_market_bytes_read_total", "protocol bytes received", labels...),
-		bytesWritten:   r.Counter("privrange_market_bytes_written_total", "protocol bytes sent", labels...),
+		connsAccepted:   r.Counter("privrange_market_connections_total", "TCP connections accepted", labels...),
+		connsActive:     r.Gauge("privrange_market_connections_active", "TCP connections currently served", labels...),
+		acceptFailures:  r.Counter("privrange_market_accept_failures_total", "listener Accept errors (listener still serving)", labels...),
+		decodeFailures:  r.Counter("privrange_market_decode_failures_total", "malformed protocol frames (connection still serving)", labels...),
+		oversizedFrames: r.Counter("privrange_market_oversized_frames_total", "protocol lines exceeding the frame limit (connection closed after a protocol error)", labels...),
+		bytesRead:       r.Counter("privrange_market_bytes_read_total", "protocol bytes received", labels...),
+		bytesWritten:    r.Counter("privrange_market_bytes_written_total", "protocol bytes sent", labels...),
+
+		shedTotal:       r.Counter("privrange_market_shed_total", "requests refused by admission control with a retryable error", labels...),
+		inflight:        r.Gauge("privrange_market_inflight_requests", "requests currently admitted and executing", labels...),
+		coalesceBatches: r.Counter("privrange_market_coalesce_batches_total", "coalesced batch sales executed", labels...),
+		coalesceFolded:  r.Counter("privrange_market_coalesce_folded_total", "single-query buys folded into coalesced batches", labels...),
 
 		walAppends:     r.Counter("privrange_market_wal_appends_total", "mutation records journaled to the write-ahead log", labels...),
 		walBytes:       r.Counter("privrange_market_wal_bytes_total", "bytes appended to the write-ahead log (framed)", labels...),
@@ -206,6 +219,48 @@ func (m *Metrics) noteDecodeFailure() {
 		return
 	}
 	m.decodeFailures.Inc()
+}
+
+// noteOversizedFrame counts a protocol line that blew the frame limit.
+// The connection dies (the stream cannot be resynced), but it dies
+// loudly: counted here and answered with a protocol error first.
+func (m *Metrics) noteOversizedFrame() {
+	if m == nil {
+		return
+	}
+	m.oversizedFrames.Inc()
+}
+
+// noteShed counts one request refused by admission control.
+func (m *Metrics) noteShed() {
+	if m == nil {
+		return
+	}
+	m.shedTotal.Inc()
+}
+
+// noteAdmit / noteFinish track the in-flight admitted-request gauge.
+func (m *Metrics) noteAdmit() {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(1)
+}
+
+func (m *Metrics) noteFinish() {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+}
+
+// noteCoalesce records one executed batch sale folding n buys.
+func (m *Metrics) noteCoalesce(n int) {
+	if m == nil {
+		return
+	}
+	m.coalesceBatches.Inc()
+	m.coalesceFolded.Add(uint64(n))
 }
 
 func (m *Metrics) noteRead(n int) {

@@ -7,16 +7,44 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Server exposes a Broker over TCP with a newline-delimited JSON
 // protocol: one Request per line in, one Response per line out,
 // arbitrarily many exchanges per connection.
+//
+// The serving path is pipelined: requests carrying a non-zero id are
+// dispatched to handler goroutines while the reader keeps consuming
+// frames, and a dedicated per-connection writer drains a bounded
+// response queue, so one connection can have many sales in flight.
+// Requests without an id (old clients) are answered strictly in
+// arrival order, preserving the legacy one-at-a-time contract.
+//
+// Memory per connection is bounded: at most pipeline-depth handler
+// goroutines (the reader blocks on a slot semaphore past that, turning
+// excess pipelining into TCP backpressure), a response queue sized to
+// the same depth, and one frame buffer. A module-wide admission gate
+// caps requests in flight across all connections; excess requests are
+// refused immediately with a retryable protocol error instead of
+// queueing unboundedly.
 type Server struct {
 	broker   *Broker
 	listener net.Listener
 	idle     time.Duration
+	// depth bounds requests in flight per connection (the pipeline
+	// window). The reader stops consuming frames when the window is
+	// full, so a client that outruns the broker is throttled by TCP
+	// flow control, not by server memory.
+	depth int
+	// maxInFlight caps admitted requests across all connections; 0
+	// disables the gate. inflight is the current count.
+	maxInFlight int64
+	inflight    atomic.Int64
+	// eagerDeadline restores the historical re-arm-every-frame deadline
+	// behaviour; only benchmarks set it (see BenchmarkServerDeadline).
+	eagerDeadline bool
 	// metrics counts connections, bytes and transport failures. Defaults
 	// to the broker's attached metrics; WithTelemetry overrides. Nil
 	// records nothing.
@@ -37,6 +65,15 @@ const maxLineBytes = 1 << 20
 // and stalled clients must not pin handler goroutines forever.
 const defaultIdleTimeout = 2 * time.Minute
 
+// defaultPipelineDepth is the per-connection pipeline window: how many
+// requests one connection may have in flight before the reader applies
+// TCP backpressure.
+const defaultPipelineDepth = 64
+
+// defaultMaxInFlight is the module-wide admission cap on concurrently
+// executing requests.
+const defaultMaxInFlight = 1024
+
 // ServerOption configures Serve.
 type ServerOption func(*Server)
 
@@ -55,6 +92,36 @@ func WithTelemetry(m *Metrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
 }
 
+// WithPipelineDepth bounds how many pipelined requests one connection
+// may have in flight (and how many responses it may have queued). Values
+// below one fall back to the default.
+func WithPipelineDepth(n int) ServerOption {
+	return func(s *Server) {
+		if n >= 1 {
+			s.depth = n
+		}
+	}
+}
+
+// WithMaxInFlight caps admitted requests across all connections; excess
+// requests are shed with a retryable protocol error. Zero or negative
+// disables the admission gate.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.maxInFlight = int64(n)
+	}
+}
+
+// withEagerDeadline re-arms the connection deadline on every frame, the
+// pre-pipelining behaviour. Exists only so the deadline-churn benchmark
+// can measure lazy vs eager re-arming on the same code path.
+func withEagerDeadline() ServerOption {
+	return func(s *Server) { s.eagerDeadline = true }
+}
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and begins accepting
 // connections in the background. Close shuts it down.
 func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
@@ -66,11 +133,13 @@ func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("market: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		broker:   broker,
-		listener: ln,
-		idle:     defaultIdleTimeout,
-		metrics:  broker.Telemetry(),
-		conns:    make(map[net.Conn]struct{}),
+		broker:      broker,
+		listener:    ln,
+		idle:        defaultIdleTimeout,
+		depth:       defaultPipelineDepth,
+		maxInFlight: defaultMaxInFlight,
+		metrics:     broker.Telemetry(),
+		conns:       make(map[net.Conn]struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -129,24 +198,99 @@ func (s *Server) untrack(conn net.Conn) {
 	_ = conn.Close()
 }
 
-// extendDeadline pushes the connection's read/write deadline one idle
-// period into the future, or clears it when deadlines are disabled.
-func (s *Server) extendDeadline(conn net.Conn) error {
+// admit reserves one slot in the module-wide in-flight gate, or reports
+// that the request must be shed. release undoes it.
+func (s *Server) admit() bool {
+	if s.maxInFlight <= 0 {
+		return true
+	}
+	if s.inflight.Add(1) > s.maxInFlight {
+		s.inflight.Add(-1)
+		return false
+	}
+	s.metrics.noteAdmit()
+	return true
+}
+
+func (s *Server) release() {
+	if s.maxInFlight <= 0 {
+		return
+	}
+	s.inflight.Add(-1)
+	s.metrics.noteFinish()
+}
+
+// shedResponse is the explicit retryable rejection admission control
+// answers with instead of queueing.
+func shedResponse(id uint64) *Response {
+	return &Response{
+		ID:        id,
+		Error:     "market: overloaded: too many requests in flight, retry after backoff",
+		Retryable: true,
+	}
+}
+
+// armDeadline pushes the connection's read/write deadline one idle
+// period into the future. It re-arms lazily: a syscall per frame is
+// measurable on the hot loop (see BenchmarkServerDeadline), and a
+// deadline armed within the last quarter of the idle period is still
+// at least 3·idle/4 away — close enough that re-arming buys nothing.
+// lastArm is owned by the reader goroutine.
+func (s *Server) armDeadline(conn net.Conn, lastArm *time.Time) error {
 	if s.idle <= 0 {
 		return nil
 	}
-	return conn.SetDeadline(time.Now().Add(s.idle))
+	now := time.Now()
+	if !s.eagerDeadline && !lastArm.IsZero() && now.Sub(*lastArm) < s.idle/4 {
+		return nil
+	}
+	*lastArm = now
+	return conn.SetDeadline(now.Add(s.idle))
+}
+
+// servedConn is the per-connection serving state: a bounded response
+// queue drained by one writer goroutine, a slot semaphore bounding the
+// pipeline window, and the join handles for both goroutine kinds.
+type servedConn struct {
+	s     *Server
+	conn  net.Conn
+	respQ chan *Response
+	// slots is the pipeline window: the reader takes a slot before
+	// dispatching a handler and the handler returns it after enqueueing
+	// its response, so at most cap(slots) handlers exist per connection
+	// and each can always enqueue without blocking (cap(respQ) ≥
+	// cap(slots)).
+	slots    chan struct{}
+	handlers sync.WaitGroup
+	writerWG sync.WaitGroup
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	scanner := bufio.NewScanner(conn)
+	c := &servedConn{
+		s:     s,
+		conn:  conn,
+		respQ: make(chan *Response, s.depth+8),
+		slots: make(chan struct{}, s.depth),
+	}
+	c.writerWG.Add(1)
+	go c.writeLoop()
+	s.readLoop(c)
+	// Reader is done: no new handlers will spawn. Wait for in-flight
+	// handlers to enqueue their responses, then let the writer drain
+	// what it can and exit.
+	c.handlers.Wait()
+	close(c.respQ)
+	c.writerWG.Wait()
+}
+
+// readLoop consumes frames and dispatches them. Id-less requests are
+// handled inline (strict arrival order, the legacy contract); id'd
+// requests go through admission and run on handler goroutines.
+func (s *Server) readLoop(c *servedConn) {
+	scanner := bufio.NewScanner(c.conn)
 	scanner.Buffer(make([]byte, 0, 4096), maxLineBytes)
-	writer := bufio.NewWriter(&countWriter{w: conn, m: s.metrics})
-	enc := json.NewEncoder(writer)
-	// The deadline is re-armed before every exchange, so an active client
-	// can hold the connection indefinitely while a silent one (or one not
-	// draining its responses) is cut off after a single idle period.
-	if err := s.extendDeadline(conn); err != nil {
+	var lastArm time.Time
+	if err := s.armDeadline(c.conn, &lastArm); err != nil {
 		return
 	}
 	for scanner.Scan() {
@@ -155,25 +299,91 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		// An active client keeps its deadline fresh; a silent one (or
+		// one not draining responses) is cut off after an idle period.
+		if err := s.armDeadline(c.conn, &lastArm); err != nil {
+			return
+		}
 		var req Request
-		var resp *Response
 		if err := json.Unmarshal(line, &req); err != nil {
 			// A malformed frame is the client's problem, not the
 			// connection's: count it and answer with a protocol error.
+			// No id can be attributed, so pipelined clients see id 0.
 			s.metrics.noteDecodeFailure()
-			resp = &Response{Error: fmt.Sprintf("market: malformed request: %v", err)}
-		} else {
-			resp = s.broker.Handle(req)
+			c.respQ <- &Response{Error: fmt.Sprintf("market: malformed request: %v", err)}
+			continue
+		}
+		if req.ID == 0 {
+			// Legacy one-at-a-time request: handle inline so responses
+			// leave in arrival order, exactly as before pipelining.
+			if !s.admit() {
+				s.metrics.noteShed()
+				c.respQ <- shedResponse(0)
+				continue
+			}
+			resp := s.broker.Handle(req)
+			s.release()
+			c.respQ <- resp
+			continue
+		}
+		// Pipelined request: take a pipeline slot first (blocking here
+		// throttles an over-eager client via TCP flow control), then
+		// pass the module-wide admission gate.
+		c.slots <- struct{}{}
+		if !s.admit() {
+			<-c.slots
+			s.metrics.noteShed()
+			c.respQ <- shedResponse(req.ID)
+			continue
+		}
+		c.handlers.Add(1)
+		go func(req Request) {
+			defer c.handlers.Done()
+			resp := s.broker.Handle(req)
+			resp.ID = req.ID
+			c.respQ <- resp
+			s.release()
+			<-c.slots
+		}(req)
+	}
+	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+		// The frame blew the line limit. The stream cannot be resynced
+		// (we do not know where the oversized line ends), so the
+		// connection must die — but loudly: count it and answer a
+		// protocol error the client will see before the close.
+		s.metrics.noteOversizedFrame()
+		c.respQ <- &Response{Error: fmt.Sprintf("market: request exceeds the %d-byte frame limit", maxLineBytes)}
+	}
+}
+
+// writeLoop drains the response queue into the connection, flushing
+// only when the queue runs empty so back-to-back pipelined responses
+// share flushes. After a write failure it closes the connection (the
+// peer is gone or stalled past its deadline) and keeps draining so
+// handlers never block on a dead writer.
+func (c *servedConn) writeLoop() {
+	defer c.writerWG.Done()
+	writer := bufio.NewWriter(&countWriter{w: c.conn, m: c.s.metrics})
+	enc := json.NewEncoder(writer)
+	failed := false
+	for resp := range c.respQ {
+		if failed {
+			continue
 		}
 		if err := enc.Encode(resp); err != nil {
-			return
+			failed = true
+		} else if len(c.respQ) == 0 {
+			if err := writer.Flush(); err != nil {
+				failed = true
+			}
 		}
-		if err := writer.Flush(); err != nil {
-			return
+		if failed {
+			// Unblock the reader (blocked in Scan) and future writes.
+			_ = c.conn.Close()
 		}
-		if err := s.extendDeadline(conn); err != nil {
-			return
-		}
+	}
+	if !failed {
+		_ = writer.Flush()
 	}
 }
 
@@ -193,170 +403,4 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
-}
-
-// Client is a TCP consumer of a market Server.
-type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	reader  *bufio.Reader
-	timeout time.Duration
-}
-
-// DialOption configures Dial.
-type DialOption func(*Client)
-
-// WithRequestTimeout bounds each Do exchange (send + receive) and the
-// initial TCP connect. It mirrors the server's idle deadline: without
-// it a stalled or dead server pins the caller forever. Zero or negative
-// disables the deadline — callers own that risk. The default matches
-// the server's defaultIdleTimeout.
-func WithRequestTimeout(d time.Duration) DialOption {
-	return func(c *Client) { c.timeout = d }
-}
-
-// Dial connects to a market server.
-func Dial(addr string, opts ...DialOption) (*Client, error) {
-	c := &Client{timeout: defaultIdleTimeout}
-	for _, opt := range opts {
-		opt(c)
-	}
-	dialTimeout := c.timeout
-	if dialTimeout <= 0 {
-		dialTimeout = 0 // no timeout: net.DialTimeout treats 0 as none
-	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("market: dial %s: %w", addr, err)
-	}
-	c.conn = conn
-	c.reader = bufio.NewReader(conn)
-	return c, nil
-}
-
-// Do performs one request/response exchange. It is safe for concurrent
-// use (exchanges serialize on the single connection). The configured
-// request timeout covers the whole exchange: a server that accepts the
-// request but never answers yields a deadline error instead of a hang.
-func (c *Client) Do(req Request) (*Response, error) {
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("market: marshal request: %w", err)
-	}
-	payload = append(payload, '\n')
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("market: arm deadline: %w", err)
-		}
-	}
-	if _, err := c.conn.Write(payload); err != nil {
-		return nil, fmt.Errorf("market: send: %w", err)
-	}
-	line, err := c.reader.ReadBytes('\n')
-	if err != nil {
-		return nil, fmt.Errorf("market: receive: %w", err)
-	}
-	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, fmt.Errorf("market: malformed response: %w", err)
-	}
-	return &resp, nil
-}
-
-// ErrRemote wraps a broker-side failure reported over the protocol.
-var ErrRemote = errors.New("market: remote error")
-
-// expectOK converts a Response with Error set into a Go error.
-func expectOK(resp *Response) error {
-	if resp.Error != "" {
-		return fmt.Errorf("%w: %s", ErrRemote, resp.Error)
-	}
-	if !resp.OK {
-		return fmt.Errorf("%w: response not ok", ErrRemote)
-	}
-	return nil
-}
-
-// Catalog fetches the dataset list.
-func (c *Client) Catalog() ([]DatasetInfo, error) {
-	resp, err := c.Do(Request{Op: "catalog"})
-	if err != nil {
-		return nil, err
-	}
-	if err := expectOK(resp); err != nil {
-		return nil, err
-	}
-	return resp.Datasets, nil
-}
-
-// Quote prices an accuracy level remotely.
-func (c *Client) Quote(dataset string, alpha, delta float64) (price, variance float64, err error) {
-	resp, err := c.Do(Request{Op: "quote", Dataset: dataset, Alpha: alpha, Delta: delta})
-	if err != nil {
-		return 0, 0, err
-	}
-	if err := expectOK(resp); err != nil {
-		return 0, 0, err
-	}
-	return resp.Price, resp.Variance, nil
-}
-
-// Buy purchases one answer remotely.
-func (c *Client) Buy(req Request) (*Response, error) {
-	req.Op = "buy"
-	resp, err := c.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if err := expectOK(resp); err != nil {
-		return nil, err
-	}
-	return resp, nil
-}
-
-// Deposit credits the customer's prepaid account on the broker and
-// returns the new balance. Fails when the broker runs in invoice mode.
-func (c *Client) Deposit(customer string, amount float64) (float64, error) {
-	resp, err := c.Do(Request{Op: "deposit", Customer: customer, Amount: amount})
-	if err != nil {
-		return 0, err
-	}
-	if err := expectOK(resp); err != nil {
-		return 0, err
-	}
-	return resp.Balance, nil
-}
-
-// Balance fetches the customer's prepaid balance.
-func (c *Client) Balance(customer string) (float64, error) {
-	resp, err := c.Do(Request{Op: "balance", Customer: customer})
-	if err != nil {
-		return 0, err
-	}
-	if err := expectOK(resp); err != nil {
-		return 0, err
-	}
-	return resp.Balance, nil
-}
-
-// Audit fetches the broker's averaging-pattern report.
-func (c *Client) Audit() ([]AveragingSuspicion, error) {
-	resp, err := c.Do(Request{Op: "audit"})
-	if err != nil {
-		return nil, err
-	}
-	if err := expectOK(resp); err != nil {
-		return nil, err
-	}
-	return resp.Suspicions, nil
-}
-
-// Close tears the connection down.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
 }

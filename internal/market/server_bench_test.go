@@ -1,0 +1,85 @@
+package market
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"privrange/internal/pricing"
+)
+
+// benchServer stands up a real broker + server + client pair for the
+// transport benchmarks.
+func benchServer(b *testing.B, srvOpts []ServerOption, dialOpts []DialOption) *Client {
+	b.Helper()
+	broker, _ := buildBroker(b, pricing.InverseVariance{C: 1e9})
+	srv, err := Serve(broker, "127.0.0.1:0", srvOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	client, err := Dial(srv.Addr(), append([]DialOption{WithRequestTimeout(30 * time.Second)}, dialOpts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() })
+	return client
+}
+
+// BenchmarkServerSerialQuote is the baseline: one blocking exchange at
+// a time on the legacy (id-less) client.
+func BenchmarkServerSerialQuote(b *testing.B) {
+	client := benchServer(b, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.Quote("ozone", 0.05, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerPipelinedQuote keeps many requests in flight on one
+// connection; the gap to the serial baseline is the pipelining win.
+func BenchmarkServerPipelinedQuote(b *testing.B) {
+	client := benchServer(b, nil, []DialOption{WithPipelining()})
+	const window = 32
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, _, err := client.Quote("ozone", 0.05, 0.9); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The deadline pair measures satellite (b): re-arming the connection
+// deadline on every frame (eager, the old behaviour) versus only when
+// a quarter of the idle window has elapsed (lazy, the default). The
+// workload is the cheapest op so the SetDeadline syscall shows up.
+func BenchmarkServerDeadlineLazy(b *testing.B) {
+	client := benchServer(b, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Catalog(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerDeadlineEager(b *testing.B) {
+	client := benchServer(b, []ServerOption{withEagerDeadline()}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Catalog(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

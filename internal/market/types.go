@@ -14,6 +14,14 @@ import (
 
 // Request is a consumer's message to the broker.
 type Request struct {
+	// ID tags the request for pipelining: a client that sets a non-zero
+	// id may have many requests in flight on one connection, and the
+	// server echoes the id on the matching Response (possibly out of
+	// order). Zero (or absent — the field is omitted on the wire) selects
+	// the legacy one-at-a-time protocol: the server answers id-less
+	// requests strictly in arrival order, so old peers interoperate
+	// unchanged in both directions.
+	ID uint64 `json:"id,omitempty"`
 	// Op selects the operation: "quote", "buy", "catalog", "deposit",
 	// "balance" or "audit".
 	Op string `json:"op"`
@@ -45,8 +53,18 @@ func (r Request) Query() estimator.Query {
 // Response is the broker's reply. Exactly one of Error or the payload
 // fields is meaningful.
 type Response struct {
+	// ID echoes the request id in pipelined mode (zero for legacy
+	// requests and for frames the server could not attribute, e.g. a
+	// malformed line).
+	ID uint64 `json:"id,omitempty"`
+
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Retryable marks a load-shed rejection: the request was refused by
+	// admission control without being processed, and an identical retry
+	// after backoff may succeed. Never set on semantic failures
+	// (validation, funds, caps), which retrying cannot fix.
+	Retryable bool `json:"retryable,omitempty"`
 
 	// Quote and buy payload.
 	Price    float64 `json:"price,omitempty"`

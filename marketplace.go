@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"privrange/internal/core"
 	"privrange/internal/dp"
@@ -66,6 +67,9 @@ type PurchaseResult struct {
 type Marketplace struct {
 	broker  *market.Broker
 	wallets *market.Wallets
+	// coalescer, when non-nil, folds concurrent remote buys into batch
+	// sales (see EnableCoalescing). Guarded by teleMu for enable/close.
+	coalescer *market.Coalescer
 
 	// teleMu guards the registry and the dataset handle map used to
 	// attach telemetry to datasets added before or after
@@ -363,16 +367,90 @@ func (m *Marketplace) SpentBy(customer string) float64 {
 	return m.broker.Ledger().SpentBy(customer)
 }
 
+// CoalesceConfig tunes EnableCoalescing; zero values pick the
+// defaults (1ms window, 64-buy batches).
+type CoalesceConfig struct {
+	// Window is the longest a buy may wait for companions before its
+	// batch executes.
+	Window time.Duration
+	// MaxBatch seals a batch early once this many buys joined.
+	MaxBatch int
+}
+
+// EnableCoalescing folds concurrent remote buys for the same dataset
+// and accuracy into single batch sales: each buy waits at most the
+// window, then one estimation pass answers the whole group. Released
+// values, receipts, balances and ε accounting are bit-for-bit
+// indistinguishable from serial sales — the trade is purely latency
+// (≤ window) for throughput. Idempotent per marketplace; call
+// DisableCoalescing on shutdown to drain the batching stage.
+func (m *Marketplace) EnableCoalescing(cfg CoalesceConfig) {
+	m.teleMu.Lock()
+	defer m.teleMu.Unlock()
+	if m.coalescer != nil {
+		return
+	}
+	m.coalescer = m.broker.EnableCoalescing(market.CoalesceConfig{
+		Window:   cfg.Window,
+		MaxBatch: cfg.MaxBatch,
+	})
+}
+
+// DisableCoalescing drains and stops the batching stage; buys in
+// flight settle first, later buys take the serial path.
+func (m *Marketplace) DisableCoalescing() {
+	m.teleMu.Lock()
+	co := m.coalescer
+	m.coalescer = nil
+	m.teleMu.Unlock()
+	if co != nil {
+		co.Close()
+	}
+}
+
 // MarketServer is a running TCP endpoint for a Marketplace.
 type MarketServer struct {
 	srv *market.Server
 }
 
+// ServeConfig tunes ServeWith; zero values pick the transport
+// defaults (2min idle timeout, 64-deep pipeline window, 1024 admitted
+// requests module-wide).
+type ServeConfig struct {
+	// IdleTimeout cuts connections that go silent (or stop draining
+	// responses) for this long. Negative disables the deadline.
+	IdleTimeout time.Duration
+	// PipelineDepth bounds requests in flight per connection; a client
+	// pipelining past it is throttled by TCP flow control.
+	PipelineDepth int
+	// MaxInFlight caps admitted requests across all connections;
+	// excess requests are refused with a retryable protocol error.
+	// Negative disables admission control.
+	MaxInFlight int
+}
+
 // Serve exposes the marketplace on a TCP address (use "127.0.0.1:0" for
-// an ephemeral port). The protocol is newline-delimited JSON; see
-// internal/market for the message schema and a ready-made client.
+// an ephemeral port) with default transport settings. The protocol is
+// newline-delimited JSON; see internal/market for the message schema
+// and a ready-made client.
 func (m *Marketplace) Serve(addr string) (*MarketServer, error) {
-	srv, err := market.Serve(m.broker, addr)
+	return m.ServeWith(addr, ServeConfig{})
+}
+
+// ServeWith exposes the marketplace on a TCP address with explicit
+// transport settings (pipelining window, admission cap, idle timeout).
+func (m *Marketplace) ServeWith(addr string, cfg ServeConfig) (*MarketServer, error) {
+	var opts []market.ServerOption
+	if cfg.IdleTimeout != 0 {
+		opts = append(opts, market.WithIdleTimeout(cfg.IdleTimeout))
+	}
+	if cfg.PipelineDepth > 0 {
+		opts = append(opts, market.WithPipelineDepth(cfg.PipelineDepth))
+	}
+	if cfg.MaxInFlight != 0 {
+		opts = append(opts, market.WithMaxInFlight(cfg.MaxInFlight))
+	}
+	srv, err := market.Serve(m.broker, addr, opts...)
 	if err != nil {
 		return nil, err
 	}
