@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: all check build vet lint privlint lint-report staticcheck tools test race cover bench bench-smoke bench-shard load experiments examples fuzz chaos shard durability clean
+.PHONY: all check build vet lint privlint lint-report staticcheck tools test race cover bench bench-smoke bench-shard bench-trace load slo experiments examples fuzz chaos shard durability clean
 
 all: build vet test
 
@@ -109,6 +109,24 @@ load:
 	@mkdir -p results
 	$(GO) run ./cmd/privload -rate 4000 -duration 2s -conns 8 \
 		-o results/bench-load.json -txt results/bench-load.txt
+
+# bench-trace records the distributed-tracing overhead comparison: the
+# engine hot paths with telemetry alone vs telemetry plus 1-in-64 trace
+# sampling. The tracing contract is ≤2% ns/op and +0 allocs/op at that
+# rate; results land in results/bench-trace.{txt,json} via cmd/benchjson.
+bench-trace:
+	@mkdir -p results
+	$(GO) test -bench='BenchmarkAnswerBatchSerialTelemetry|BenchmarkAnswerBatchSerialTraced|BenchmarkAnswerTelemetry$$|BenchmarkAnswerTraced' -benchmem -run=NONE ./internal/core | tee results/bench-trace.txt
+	$(GO) run ./cmd/benchjson -o results/bench-trace.json results/bench-trace.txt
+
+# slo is the burn-rate smoke gate: privload self-hosts a marketplace,
+# declares a deliberately loose buy SLO (99% under 5s), drives a short
+# load, and exits non-zero if the burn-rate gauges report the error
+# budget burning — wiring the whole declare → observe → scrape → gate
+# chain into CI without flaking on machine speed.
+slo:
+	$(GO) run ./cmd/privload -rate 1000 -duration 2s -conns 4 \
+		-slo 0.99:5s -max-burn 1.0
 
 # bench-shard records 1-vs-S shard throughput (scatter-gather batch
 # release and collection rounds) in results/bench-shard.txt plus a

@@ -20,9 +20,12 @@
 //	         [-mix buy=60,quote=30,deposit=5,balance=5]
 //	         [-o results/bench-load.json] [-txt results/bench-load.txt]
 //	         [-addr host:port] [-pipeline] [-min-success 0.05]
+//	         [-slo 0.99:50ms] [-max-burn 1]
 //
 // Exit status is non-zero when the load run sheds or fails everything
-// (the CI smoke gate) or when a phase deadlocks.
+// (the CI smoke gate), when a phase deadlocks, or — with -slo — when
+// the declared buy objective is burning its error budget faster than
+// -max-burn in any window after the run.
 package main
 
 import (
@@ -61,13 +64,15 @@ func main() {
 		minOK    = flag.Float64("min-success", 0.05, "fail unless this fraction of sent requests succeeded (smoke gate)")
 		jsonOut  = flag.String("o", "", "write the machine-readable report here (e.g. results/bench-load.json)")
 		txtOut   = flag.String("txt", "", "write the human-readable report here too")
+		sloSpec  = flag.String("slo", "", "declare a buy SLO as target:threshold (e.g. 0.99:50ms) and fail on error-budget burn (self-hosted only)")
+		maxBurn  = flag.Float64("max-burn", 1, "with -slo, fail when any window's burn rate exceeds this")
 	)
 	flag.Parse()
 	cfg := config{
 		addr: *addr, rate: *rate, duration: *duration, conns: *conns,
 		pipeline: *pipeline, outstanding: *outst,
 		alpha: *alpha, delta: *delta, records: *records, nodes: *nodes,
-		seed: *seed,
+		seed: *seed, maxBurn: *maxBurn,
 	}
 	var err error
 	cfg.mix, err = parseMix(*mix)
@@ -75,10 +80,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "privload: %v\n", err)
 		os.Exit(2)
 	}
+	if *sloSpec != "" {
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, "privload: -slo needs the self-hosted marketplace (declare the SLO on the external daemon instead)")
+			os.Exit(2)
+		}
+		slo, err := parseSLO(*sloSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privload: -slo %q: %v\n", *sloSpec, err)
+			os.Exit(2)
+		}
+		cfg.slo, cfg.sloSet = slo, true
+	}
 	if err := run(cfg, *minOK, *jsonOut, *txtOut); err != nil {
 		fmt.Fprintf(os.Stderr, "privload: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// parseSLO parses "target:threshold" (e.g. "0.99:50ms"); a bare target
+// declares a pure availability objective.
+func parseSLO(spec string) (privrange.SLO, error) {
+	targetStr, thresholdStr, hasThreshold := strings.Cut(spec, ":")
+	target, err := strconv.ParseFloat(targetStr, 64)
+	if err != nil || target <= 0 || target >= 1 {
+		return privrange.SLO{}, fmt.Errorf("target must be a fraction in (0, 1)")
+	}
+	slo := privrange.SLO{Name: "buy", Target: target}
+	if hasThreshold {
+		d, err := time.ParseDuration(thresholdStr)
+		if err != nil || d <= 0 {
+			return privrange.SLO{}, fmt.Errorf("threshold must be a positive duration, e.g. 50ms")
+		}
+		slo.Threshold = d
+	}
+	return slo, nil
 }
 
 type config struct {
@@ -94,6 +130,9 @@ type config struct {
 	nodes       int
 	seed        int64
 	mix         []mixEntry
+	slo         privrange.SLO
+	sloSet      bool
+	maxBurn     float64
 }
 
 type mixEntry struct {
@@ -156,6 +195,10 @@ type phaseReport struct {
 	Dropped     int64             `json:"client_dropped"`
 	Latency     latencyStats      `json:"latency"`
 	Server      map[string]uint64 `json:"server,omitempty"`
+	// Gauges holds the broker-side instantaneous state worth archiving:
+	// SLO burn rates per window plus the engine-queue and
+	// pipeline-occupancy gauges.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 // report is the bench-load.json schema later PRs diff against.
@@ -236,6 +279,20 @@ func run(cfg config, minOK float64, jsonOut, txtOut string) error {
 				pr.Name, 100*frac, pr.Sent, pr.OK, pr.Shed, pr.Errors, 100*minOK)
 		}
 	}
+
+	// SLO gate: with -slo, any window burning its error budget faster
+	// than -max-burn fails the run — the CI hook for latency
+	// regressions that still pass the smoke gate.
+	if cfg.sloSet {
+		for _, pr := range rep.Phases {
+			for k, v := range pr.Gauges {
+				if strings.HasPrefix(k, "slo_burn_rate") && v > cfg.maxBurn {
+					return fmt.Errorf("phase %s: %s = %.2f exceeds the %.2f burn gate (target %g within %v)",
+						pr.Name, k, v, cfg.maxBurn, cfg.slo.Target, cfg.slo.Threshold)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -284,6 +341,9 @@ func selfHost(cfg config, coalesce bool) (*selfHosted, error) {
 		if err := mp.Deposit(cust, 1e12); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.sloSet {
+		mp.DeclareBuySLO(cfg.slo)
 	}
 	if coalesce {
 		mp.EnableCoalescing(privrange.CoalesceConfig{})
@@ -418,6 +478,7 @@ func runPhase(cfg config, spec phaseSpec) (phaseReport, error) {
 	pr.Latency = percentiles(latencies)
 	if spec.opsAddr != "" {
 		pr.Server = scrapeServer(spec.opsAddr)
+		pr.Gauges = scrapeGauges(spec.opsAddr)
 	}
 	return pr, nil
 }
@@ -518,6 +579,40 @@ func scrapeServer(opsAddr string) map[string]uint64 {
 	return out
 }
 
+// scrapeGauges pulls the instantaneous broker-side gauges worth
+// archiving: SLO burn rates (PR 10) plus the engine-queue and
+// pipeline-occupancy saturation gauges.
+func scrapeGauges(opsAddr string) map[string]float64 {
+	resp, err := http.Get("http://" + opsAddr + "/snapshot")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Gauges []struct {
+			Name   string  `json:"name"`
+			Labels string  `json:"labels"`
+			Value  float64 `json:"value"`
+		} `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	keep := map[string]bool{
+		"privrange_slo_burn_rate":             true,
+		"privrange_market_engine_queue_depth": true,
+		"privrange_market_pipeline_occupancy": true,
+	}
+	out := make(map[string]float64)
+	for _, g := range snap.Gauges {
+		if !keep[g.Name] {
+			continue
+		}
+		out[strings.TrimPrefix(g.Name, "privrange_")+g.Labels] = g.Value
+	}
+	return out
+}
+
 func formatReport(rep report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "privload: %s for %s on %d conns, mix %s\n",
@@ -538,6 +633,18 @@ func formatReport(rep report) string {
 			fmt.Fprintf(&b, "  server:")
 			for _, k := range keys {
 				fmt.Fprintf(&b, " %s=%d", k, pr.Server[k])
+			}
+			fmt.Fprintln(&b)
+		}
+		if len(pr.Gauges) > 0 {
+			keys := make([]string, 0, len(pr.Gauges))
+			for k := range pr.Gauges {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "  gauges:")
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%g", k, pr.Gauges[k])
 			}
 			fmt.Fprintln(&b)
 		}

@@ -7,12 +7,18 @@
 //	privquery -addr 127.0.0.1:7070 quote -dataset ozone -alpha 0.05 -delta 0.9
 //	privquery -addr 127.0.0.1:7070 buy -dataset ozone -l 50 -u 100 \
 //	          -alpha 0.05 -delta 0.9 -customer alice
+//	privquery trace -ops 127.0.0.1:7071 [-id 0123456789abcdef] [-n 5]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"privrange/internal/market"
 )
@@ -32,7 +38,11 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("need a subcommand: catalog, quote, buy, deposit, balance or audit")
+		return fmt.Errorf("need a subcommand: catalog, quote, buy, deposit, balance, audit or trace")
+	}
+	if rest[0] == "trace" {
+		// trace talks to the ops HTTP endpoint, not the trading port.
+		return runTrace(rest[1:])
 	}
 
 	client, err := market.Dial(*addr)
@@ -132,4 +142,163 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
+}
+
+// traceSpan mirrors the telemetry SpanWire JSON; decoded here rather
+// than imported so the CLI can read any broker's /traces, not just one
+// built from the same tree.
+type traceSpan struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id"`
+	Name    string            `json:"name"`
+	Start   int64             `json:"start_unix_ns"`
+	DurNS   int64             `json:"duration_ns"`
+	Attrs   map[string]string `json:"attrs"`
+	Links   []string          `json:"links"`
+}
+
+// runTrace fetches /traces from the ops endpoint and renders each
+// trace as an indented flame summary: span tree by parentage, children
+// by start time, durations with percent-of-root and self-time.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	ops := fs.String("ops", "127.0.0.1:7071", "broker ops (HTTP) endpoint")
+	id := fs.String("id", "", "show only this trace id (hex)")
+	n := fs.Int("n", 5, "newest traces to show (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get("http://" + *ops + "/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var wire struct {
+		Emitted  uint64      `json:"spans_emitted"`
+		Retained int         `json:"spans_retained"`
+		Spans    []traceSpan `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return fmt.Errorf("decode /traces: %w", err)
+	}
+	if len(wire.Spans) == 0 {
+		fmt.Println("no spans retained (is tracing enabled? privranged -trace-sample N)")
+		return nil
+	}
+
+	// Group into traces, newest root first.
+	byTrace := make(map[string][]traceSpan)
+	var order []string
+	for _, s := range wire.Spans {
+		if *id != "" && s.TraceID != *id {
+			continue
+		}
+		if _, seen := byTrace[s.TraceID]; !seen {
+			order = append(order, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	if *id != "" && len(byTrace) == 0 {
+		return fmt.Errorf("trace %s not found among %d retained spans", *id, len(wire.Spans))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return traceStart(byTrace[order[i]]) > traceStart(byTrace[order[j]])
+	})
+	if *n > 0 && len(order) > *n {
+		order = order[:*n]
+	}
+
+	fmt.Printf("%d spans retained (%d emitted since boot), %d traces shown\n",
+		wire.Retained, wire.Emitted, len(order))
+	for _, tid := range order {
+		printTrace(tid, byTrace[tid])
+	}
+	return nil
+}
+
+func traceStart(spans []traceSpan) int64 {
+	min := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start < min {
+			min = s.Start
+		}
+	}
+	return min
+}
+
+func printTrace(tid string, spans []traceSpan) {
+	children := make(map[string][]traceSpan)
+	have := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		have[s.SpanID] = true
+	}
+	var roots []traceSpan
+	var total int64
+	for _, s := range spans {
+		if s.Parent == "" || !have[s.Parent] {
+			roots = append(roots, s)
+			total += s.DurNS
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	byStart := func(ss []traceSpan) {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+	}
+	byStart(roots)
+	fmt.Printf("\ntrace %s — %d spans, %s\n", tid, len(spans), durString(total))
+	var walk func(s traceSpan, depth int, rootDur int64)
+	walk = func(s traceSpan, depth int, rootDur int64) {
+		var childSum int64
+		kids := children[s.SpanID]
+		byStart(kids)
+		for _, c := range kids {
+			childSum += c.DurNS
+		}
+		pct := ""
+		if rootDur > 0 {
+			pct = fmt.Sprintf(" %5.1f%%", 100*float64(s.DurNS)/float64(rootDur))
+		}
+		self := ""
+		if len(kids) > 0 && s.DurNS > childSum {
+			self = fmt.Sprintf("  self %s", durString(s.DurNS-childSum))
+		}
+		fmt.Printf("  %-*s%-*s %10s%s%s%s%s\n",
+			2*depth, "", 40-2*depth, s.Name, durString(s.DurNS), pct, self,
+			attrString(s.Attrs), linkString(s.Links))
+		for _, c := range kids {
+			walk(c, depth+1, rootDur)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0, r.DurNS)
+	}
+}
+
+func durString(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func attrString(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, attrs[k])
+	}
+	return "  {" + strings.TrimSpace(b.String()) + "}"
+}
+
+func linkString(links []string) string {
+	if len(links) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  links=%d[%s…]", len(links), links[0])
 }

@@ -8,6 +8,7 @@
 //	privranged [-addr 127.0.0.1:7070] [-data pollution.csv] [-nodes 16]
 //	           [-seed 1] [-base-fee 1] [-tariff-c 1e9] [-budget 0]
 //	           [-ops 127.0.0.1:7071] [-wal /var/lib/privrange]
+//	           [-trace-sample 64] [-slo 0.99:20ms]
 //
 // The protocol is newline-delimited JSON; see cmd/privquery for a client.
 package main
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,16 +45,18 @@ func main() {
 		coWindow = flag.Duration("coalesce-window", time.Millisecond, "longest a buy waits for batch companions")
 		inflight = flag.Int("max-inflight", 1024, "admission cap on concurrent requests (-1 disables shedding)")
 		depth    = flag.Int("pipeline-depth", 64, "pipelined requests in flight per connection")
+		traceN   = flag.Int("trace-sample", 0, "trace 1 in N buys end to end, exported at /traces (0 disables; needs -ops)")
+		sloSpec  = flag.String("slo", "", "buy-latency SLO as target:threshold, e.g. 0.99:20ms (burn gauges need -ops)")
 	)
 	flag.Parse()
 	serveCfg := privrange.ServeConfig{MaxInFlight: *inflight, PipelineDepth: *depth}
-	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *wal, *custCap, *ops, *coalesce, *coWindow, serveCfg); err != nil {
+	if err := run(*addr, *data, *nodes, *seed, *baseFee, *tariffC, *budget, *prepaid, *state, *wal, *custCap, *ops, *coalesce, *coWindow, *traceN, *sloSpec, serveCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "privranged: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath, walDir string, custCap float64, opsAddr string, coalesce bool, coWindow time.Duration, serveCfg privrange.ServeConfig) error {
+func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget float64, prepaid bool, statePath, walDir string, custCap float64, opsAddr string, coalesce bool, coWindow time.Duration, traceN int, sloSpec string, serveCfg privrange.ServeConfig) error {
 	if walDir != "" && statePath != "" {
 		return fmt.Errorf("-wal and -state are exclusive: the WAL directory carries its own snapshot")
 	}
@@ -70,6 +75,18 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 		// Telemetry must be on before datasets register so every layer
 		// is instrumented from the first collection round.
 		mp.EnableTelemetry()
+	}
+	if traceN > 0 {
+		mp.EnableTracing(traceN)
+		fmt.Printf("privranged: tracing 1 in %d buys (GET /traces on the ops endpoint)\n", traceN)
+	}
+	if sloSpec != "" {
+		slo, err := parseSLO(sloSpec)
+		if err != nil {
+			return fmt.Errorf("-slo %q: %w", sloSpec, err)
+		}
+		mp.DeclareBuySLO(slo)
+		fmt.Printf("privranged: buy SLO target %g within %v (burn gauges on the ops endpoint)\n", slo.Target, slo.Threshold)
 	}
 	if custCap > 0 {
 		if err := mp.SetCustomerPrivacyCap(custCap); err != nil {
@@ -152,6 +169,25 @@ func run(addr, dataPath string, nodes int, seed int64, baseFee, tariffC, budget 
 		fmt.Printf("privranged: saved %d receipts to %s\n", mp.Purchases(), statePath)
 	}
 	return nil
+}
+
+// parseSLO parses "target:threshold" (e.g. "0.99:20ms"). A bare target
+// with no colon declares a pure availability objective.
+func parseSLO(spec string) (privrange.SLO, error) {
+	targetStr, thresholdStr, hasThreshold := strings.Cut(spec, ":")
+	target, err := strconv.ParseFloat(targetStr, 64)
+	if err != nil || target <= 0 || target >= 1 {
+		return privrange.SLO{}, fmt.Errorf("target must be a fraction in (0, 1)")
+	}
+	slo := privrange.SLO{Name: "buy", Target: target}
+	if hasThreshold {
+		d, err := time.ParseDuration(thresholdStr)
+		if err != nil || d <= 0 {
+			return privrange.SLO{}, fmt.Errorf("threshold must be a positive duration, e.g. 20ms")
+		}
+		slo.Threshold = d
+	}
+	return slo, nil
 }
 
 func loadTable(path string, seed int64) (*dataset.Table, error) {

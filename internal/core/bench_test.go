@@ -93,6 +93,86 @@ func BenchmarkAnswerBatchParallelTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkAnswerBatchSerialTelemetry is the coalesced serving path's
+// engine call (one shared plan, queries answered in order on one
+// goroutine) with a live registry and tracing off — the baseline the
+// traced benchmark below is compared against.
+func BenchmarkAnswerBatchSerialTelemetry(b *testing.B) {
+	benchAnswerBatchSerial(b, 0)
+}
+
+// BenchmarkAnswerBatchSerialTraced is the same path with distributed
+// tracing sampled 1-in-64 — the production sampling rate. The tracing
+// contract is ≤2% ns/op over the telemetry baseline and +0 allocs/op:
+// unsampled calls cost one atomic counter increment and a handful of
+// nil checks, and sampled spans go to the lock-free ring without
+// allocating.
+func BenchmarkAnswerBatchSerialTraced(b *testing.B) {
+	benchAnswerBatchSerial(b, 64)
+}
+
+func benchAnswerBatchSerial(b *testing.B, sampleN int) {
+	nw, _ := buildNetwork(b, 64, 262144, 3)
+	eng, err := New(nw, WithSeed(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	eng.SetTelemetry(NewMetrics(reg))
+	spans := reg.Spans()
+	sampler := telemetry.NewSampler(sampleN)
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	queries := make([]estimator.Query, 64)
+	for i := range queries {
+		queries[i] = estimator.Query{L: float64(2 * i), U: float64(2*i + 120)}
+	}
+	if _, err := eng.AnswerBatchSerial(queries[:1], acc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sc telemetry.SpanContext
+		if sampler.Sample() {
+			sc = spans.NewRoot()
+		}
+		if _, err := eng.AnswerBatchSerialCtx(queries, acc, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnswerTraced is BenchmarkAnswerTelemetry with 1-in-64
+// distributed tracing — the single-buy hot path under production
+// sampling.
+func BenchmarkAnswerTraced(b *testing.B) {
+	nw, _ := buildNetwork(b, 64, 262144, 3)
+	eng, err := New(nw, WithSeed(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	eng.SetTelemetry(NewMetrics(reg))
+	spans := reg.Spans()
+	sampler := telemetry.NewSampler(64)
+	acc := estimator.Accuracy{Alpha: 0.1, Delta: 0.5}
+	q := estimator.Query{L: 10, U: 130}
+	if _, err := eng.Answer(q, acc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sc telemetry.SpanContext
+		if sampler.Sample() {
+			sc = spans.NewRoot()
+		}
+		if _, err := eng.AnswerCtx(q, acc, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAnswerTelemetry measures the single-query path with metrics
 // live: one full trace (sample_lookup, optimize, estimate, perturb),
 // latency histogram observation and outcome counter per op.

@@ -246,9 +246,18 @@ func (a *Answer) Clamped() float64 {
 
 // Answer serves one (α, δ)-range-counting request (Definition 2.2).
 func (e *Engine) Answer(q estimator.Query, acc estimator.Accuracy) (*Answer, error) {
+	return e.AnswerCtx(q, acc, telemetry.SpanContext{})
+}
+
+// AnswerCtx is Answer under a distributed-trace context: when sc is
+// sampled, the query's phases emit as spans parented on sc (the
+// market's handler span). Tracing never changes the answer — the RNG
+// stream, accountant charges and cache behaviour are identical with
+// any context, including the zero one.
+func (e *Engine) AnswerCtx(q estimator.Query, acc estimator.Accuracy, sc telemetry.SpanContext) (*Answer, error) {
 	m := e.tele.Load()
 	var tr telemetry.Trace
-	m.begin(&tr, "core.answer")
+	m.beginCtx(&tr, "core.answer", sc)
 	ans, outcome, err := e.answer(q, acc, m, &tr)
 	m.finishQuery(&tr, outcome)
 	return ans, err
@@ -275,6 +284,7 @@ func (e *Engine) answer(q estimator.Query, acc estimator.Accuracy, m *Metrics, t
 	if err != nil {
 		return nil, outcomeError, err
 	}
+	snap.spans = m.spanGroup(tr)
 	raw, err := rankEstimate(snap, q)
 	tr.Mark("estimate")
 	if err != nil {

@@ -39,6 +39,9 @@ type Metrics struct {
 	batchLatency *telemetry.Histogram
 
 	tracer *telemetry.Tracer
+	// spans is the registry's distributed span buffer: engine traces
+	// begun under a sampled context emit their phases there.
+	spans *telemetry.SpanBuf
 }
 
 // NewMetrics registers the engine's metric catalog on r, tagging every
@@ -66,6 +69,7 @@ func NewMetrics(r *telemetry.Registry, labels ...telemetry.Label) *Metrics {
 		batchLatency: r.Histogram("privrange_core_batch_seconds", "end-to-end AnswerBatch latency", telemetry.LatencyBuckets, labels...),
 
 		tracer: r.Tracer(),
+		spans:  r.Spans(),
 	}
 }
 
@@ -77,6 +81,26 @@ func (m *Metrics) begin(tr *telemetry.Trace, op string) {
 		return
 	}
 	tr.Begin(op)
+}
+
+// beginCtx starts a query trace joined to the caller's distributed
+// trace context (the market's handler span); unsampled contexts
+// degrade to a plain begin.
+func (m *Metrics) beginCtx(tr *telemetry.Trace, op string, parent telemetry.SpanContext) {
+	if m == nil {
+		return
+	}
+	tr.BeginCtx(op, parent, m.spans)
+}
+
+// spanGroup returns the per-shard scatter span group for a sampled
+// trace, nil otherwise — and a nil group is inert, so the scatter path
+// passes it along unconditionally.
+func (m *Metrics) spanGroup(tr *telemetry.Trace) *telemetry.SpanGroup {
+	if m == nil {
+		return nil
+	}
+	return m.spans.NewSpanGroup("core.shard_scatter", "", tr.SpanCtx())
 }
 
 // noteCacheLookup records one answer-cache probe.

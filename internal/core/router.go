@@ -6,6 +6,7 @@ import (
 
 	"privrange/internal/estimator"
 	"privrange/internal/shard"
+	"privrange/internal/telemetry"
 )
 
 // ShardedSource is a Source that is actually a fleet of broker shards.
@@ -67,7 +68,7 @@ func rankEstimateSharded(snap snapshot, queries []estimator.Query, out []float64
 		if q1 > len(queries) {
 			q1 = len(queries)
 		}
-		if err := scatterBlock(snap.views, rc, queries[q0:q1], rows, sp, out[q0:q1]); err != nil {
+		if err := scatterBlock(snap.views, rc, queries[q0:q1], rows, sp, out[q0:q1], snap.spans); err != nil {
 			return err
 		}
 	}
@@ -77,8 +78,11 @@ func rankEstimateSharded(snap snapshot, queries []estimator.Query, out []float64
 // scatterBlock evaluates one query block: every shard view scatters its
 // per-node terms into the rows×m table concurrently (views own disjoint
 // rows, so no locks), then a single pass reduces each query's column in
-// row order.
-func scatterBlock(views []shard.View, rc estimator.RankCounting, queries []estimator.Query, rows int, sp *[]float64, out []float64) error {
+// row order. spans, when non-nil, records one span per shard (the clock
+// reads live inside the telemetry package; a nil group costs two nil
+// checks per shard and never perturbs determinism — span emission
+// observes the scatter, it does not order it).
+func scatterBlock(views []shard.View, rc estimator.RankCounting, queries []estimator.Query, rows int, sp *[]float64, out []float64, spans *telemetry.SpanGroup) error {
 	m := len(queries)
 	if cap(*sp) < rows*m {
 		*sp = make([]float64, rows*m)
@@ -92,12 +96,14 @@ func scatterBlock(views []shard.View, rc estimator.RankCounting, queries []estim
 		}
 	}
 	scatterView := func(s int) {
+		start := spans.StartShard()
 		v := views[s]
 		if v.Idx != nil {
 			errs[s] = rc.EstimateIndexScatter(v.Idx, queries, v.Rows, scratch)
-			return
+		} else {
+			errs[s] = rc.EstimateScatter(v.Sets, queries, v.Rows, scratch)
 		}
-		errs[s] = rc.EstimateScatter(v.Sets, queries, v.Rows, scratch)
+		spans.EndShard(s, start)
 	}
 	if active <= 1 {
 		for s, v := range views {

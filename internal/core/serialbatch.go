@@ -38,9 +38,17 @@ type BatchOutcome struct {
 // call, so per-query cost collapses to a pair of binary searches per
 // node plus the (cheap) per-query release step.
 func (e *Engine) AnswerBatchSerial(queries []estimator.Query, acc estimator.Accuracy) ([]BatchOutcome, error) {
+	return e.AnswerBatchSerialCtx(queries, acc, telemetry.SpanContext{})
+}
+
+// AnswerBatchSerialCtx is AnswerBatchSerial under a distributed-trace
+// context: when sc is sampled (the market's batch-sale span), the
+// batch's phases — and, on a sharded source, every shard's scatter —
+// emit as spans parented on sc. Tracing never changes an answer.
+func (e *Engine) AnswerBatchSerialCtx(queries []estimator.Query, acc estimator.Accuracy, sc telemetry.SpanContext) ([]BatchOutcome, error) {
 	m := e.tele.Load()
 	var tr telemetry.Trace
-	m.begin(&tr, "core.answer_batch_serial")
+	m.beginCtx(&tr, "core.answer_batch_serial", sc)
 	out, outcome, indexed, released, err := e.answerBatchSerial(queries, acc, m, &tr)
 	m.finishBatch(&tr, outcome, indexed, released)
 	return out, err
@@ -149,6 +157,7 @@ func (e *Engine) answerBatchSerial(queries []estimator.Query, acc estimator.Accu
 		}
 		raws = make([]float64, len(queries))
 		dst := make([]float64, len(batch))
+		snap.spans = m.spanGroup(tr)
 		if eerr := rankEstimateBatch(snap, batch, dst); eerr != nil {
 			for _, i := range slot {
 				out[i].Err = eerr

@@ -5,6 +5,7 @@ import (
 	"privrange/internal/index"
 	"privrange/internal/sampling"
 	"privrange/internal/shard"
+	"privrange/internal/telemetry"
 )
 
 // snapshot is one immutable, atomically consistent view of the source —
@@ -37,6 +38,12 @@ type snapshot struct {
 	// router.go) instead of running the single-index kernels. Nil for
 	// single-broker sources.
 	views []shard.View
+	// spans, when non-nil, is the sampled request's per-shard span group:
+	// the scatter path emits one span per shard under it. Nil (the
+	// default, and always for unsampled requests) is inert. It is set by
+	// the engine wrappers just before estimation and never captured —
+	// snapshot identity (the cache key fields above) ignores it.
+	spans *telemetry.SpanGroup
 }
 
 // snapshotLocked captures the source state. Callers must hold e.mu in

@@ -46,9 +46,10 @@ release-and-reduce paths, with a sorted-snapshot allowlist`,
 // clocks.
 var detRoots = map[string][]string{
 	"privrange/internal/core": {
-		"Engine.Answer", "Engine.AnswerBatch", "Engine.EstimateOnly",
-		"Engine.answer", "Engine.answerBatch",
-		"rankEstimate", "rankEstimateBatch", "rankEstimateSharded",
+		"Engine.Answer", "Engine.AnswerCtx", "Engine.AnswerBatch", "Engine.EstimateOnly",
+		"Engine.AnswerBatchSerial", "Engine.AnswerBatchSerialCtx",
+		"Engine.answer", "Engine.answerBatch", "Engine.answerBatchSerial",
+		"rankEstimate", "rankEstimateBatch", "rankEstimateSharded", "scatterBlock",
 	},
 	"privrange/internal/estimator": {
 		"BasicCounting.Estimate", "BasicCounting.EstimateIndex", "BasicCounting.EstimateIndexBatch",

@@ -25,7 +25,9 @@ import (
 // Sinks: every value or tag position of the telemetry API —
 // telemetry.L arguments, Label literal fields, Counter.Add, Gauge.Set,
 // Gauge.Add, Histogram.Observe/ObserveDuration, Trace.Begin/Mark/End,
-// and every EventLog.Append argument.
+// the span-attribute positions Trace.Annotate and SpanRecord.Annot
+// (span annotations are exported verbatim on /traces), and every
+// EventLog.Append argument.
 //
 // Unlike privacyboundary, the pass is field-sensitive on struct
 // selectors: a clean sibling field of a struct that also holds sample
@@ -37,7 +39,8 @@ var TelemetryTaint = &Analyzer{
 	Name: "telemetrytaint",
 	Doc: `flag flows of raw per-node samples or un-noised estimates into
 telemetry label/value positions (telemetry.L, Gauge.Set, Counter.Add,
-Histogram.Observe, Trace marks, EventLog.Append): the metrics registry is
+Histogram.Observe, Trace marks, span annotations via Trace.Annotate or
+SpanRecord.Annot, EventLog.Append): the metrics registry and /traces are
 scraped outside the privacy boundary, so only released aggregates,
 operational counts and constant tags may be recorded`,
 	Run: runTelemetryTaint,
@@ -58,6 +61,10 @@ var telemetrySinkArgs = map[string][]int{
 	"Trace.Mark":                {0},
 	"Trace.End":                 {0},
 	"EventLog.Append":           {0, 1, 2, 3},
+	// Distributed-span attribute positions: span annotations are
+	// exported verbatim on /traces, outside the privacy boundary.
+	"Trace.Annotate":   {0, 1},
+	"SpanRecord.Annot": {0, 1},
 }
 
 func runTelemetryTaint(pass *Pass) error {

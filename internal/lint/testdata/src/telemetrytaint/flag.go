@@ -70,3 +70,22 @@ func traceOutcomeFromEstimate(tr *telemetry.Trace, rc estimator.RankCounting, se
 	raw, _ := rc.Estimate(sets, q)
 	tr.End(string(rune(int(raw)))) // want `flows into telemetry\.Trace\.End`
 }
+
+// annotateFromEstimate writes an un-noised estimate into a span
+// annotation — /traces exports annotations verbatim.
+func annotateFromEstimate(tr *telemetry.Trace, rc estimator.RankCounting, sets []*sampling.SampleSet, q estimator.Query) {
+	raw, _ := rc.Estimate(sets, q)
+	tr.Annotate("estimate", string(rune(int(raw)))) // want `flows into telemetry\.Trace\.Annotate`
+}
+
+// annotateKeyFromSample smuggles a raw rank through the annotation KEY
+// position instead of the value.
+func annotateKeyFromSample(tr *telemetry.Trace, set *sampling.SampleSet) {
+	tr.Annotate(string(rune(set.Samples[0].Rank)), "seen") // want `flows into telemetry\.Trace\.Annotate`
+}
+
+// spanRecordAnnotFromSample writes a raw sample value into a span
+// record annotation directly.
+func spanRecordAnnotFromSample(rec *telemetry.SpanRecord, set *sampling.SampleSet) {
+	rec.Annot("value", string(rune(int(set.Samples[0].Value)))) // want `flows into telemetry\.SpanRecord\.Annot`
+}

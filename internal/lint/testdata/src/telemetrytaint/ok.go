@@ -59,3 +59,11 @@ func publishCounts(r *telemetry.Registry, tr *telemetry.Trace, el *telemetry.Eve
 	tr.End("ok")
 	el.Append("breaker_open", 4, 9, "")
 }
+
+// annotateOperational tags spans with constant keys and operational
+// values — the sanctioned annotation path.
+func annotateOperational(tr *telemetry.Trace, rec *telemetry.SpanRecord, snap snapshotLike, dataset string) {
+	tr.Annotate("dataset", dataset)
+	tr.Annotate("shard", "3")
+	rec.Annot("nodes", string(rune(snap.nodes)))
+}

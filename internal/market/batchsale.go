@@ -121,7 +121,16 @@ func (b *Broker) sellBatchInner(reqs []Request, traces []*telemetry.Trace, out [
 	if len(queries) == 0 {
 		return
 	}
-	answers, err := ds.engine.AnswerBatchSerial(queries, reqs[first].Accuracy())
+	// The batch's engine and commit work belongs to no single sale, so
+	// it runs as its own span (own trace) linking every sampled folded
+	// sale's handler span; the engine parents its phase spans on it.
+	m := b.tele.Load()
+	var batchTr telemetry.Trace
+	m.beginBatchSpan(&batchTr, traces, slots)
+	defer m.finishBatchSpan(&batchTr, len(slots))
+	batchTr.Annotate("dataset", reqs[first].Dataset)
+	answers, err := ds.engine.AnswerBatchSerialCtx(queries, reqs[first].Accuracy(), batchTr.SpanCtx())
+	batchTr.Mark("answer")
 	if err != nil {
 		// Whole-call misuse cannot happen (the batch is non-empty and
 		// validated), but a future engine error must still settle every
@@ -205,6 +214,7 @@ func (b *Broker) sellBatchInner(reqs []Request, traces []*telemetry.Trace, out [
 		}
 		synced = append(synced, i)
 	}
+	batchTr.Mark("record")
 	if len(synced) == 0 {
 		return
 	}
@@ -212,11 +222,12 @@ func (b *Broker) sellBatchInner(reqs []Request, traces []*telemetry.Trace, out [
 	// before any is acknowledged. The journaled records are identical
 	// to the serial path's; only the fsync count differs, and an fsync
 	// is not a record — replay cannot tell the difference.
-	if serr := b.journalSync(); serr != nil {
+	if serr := b.journalSyncCtx(batchTr.SpanCtx()); serr != nil {
 		for _, i := range synced {
 			out[i] = saleResult{err: serr}
 		}
 	}
+	batchTr.Mark("fsync")
 }
 
 // failAlive fails every still-alive sale with one shared error.

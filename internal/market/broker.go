@@ -79,11 +79,17 @@ func (b *Broker) durableStore() *durability {
 // is a no-op: the broker then runs with the historical in-memory-only
 // semantics.
 func (b *Broker) journal(r WALRecord) error {
+	return b.journalCtx(r, telemetry.SpanContext{})
+}
+
+// journalCtx is journal under a distributed-trace context: a sampled
+// sale's commit record shows up as a "wal.append" span.
+func (b *Broker) journalCtx(r WALRecord, sc telemetry.SpanContext) error {
 	d := b.durableStore()
 	if d == nil {
 		return nil
 	}
-	_, err := d.wal.Append(r)
+	_, err := d.wal.AppendCtx(r, sc)
 	return err
 }
 
@@ -91,11 +97,19 @@ func (b *Broker) journal(r WALRecord) error {
 // fsync). Mutating operations call it exactly once, after their last
 // record and before acknowledging the customer.
 func (b *Broker) journalSync() error {
+	return b.journalSyncCtx(telemetry.SpanContext{})
+}
+
+// journalSyncCtx is journalSync under a distributed-trace context: the
+// group-commit fsync a sampled sale waited on shows up as a
+// "wal.fsync" span (its duration may cover records of other sales —
+// that is the group commit, faithfully attributed).
+func (b *Broker) journalSyncCtx(sc telemetry.SpanContext) error {
 	d := b.durableStore()
 	if d == nil {
 		return nil
 	}
-	return d.wal.Sync()
+	return d.wal.SyncCtx(sc)
 }
 
 // nextSale issues a process-unique sale id linking one sale's WAL
@@ -232,7 +246,8 @@ func (b *Broker) Quote(dataset string, acc estimator.Accuracy) (price, variance 
 // price paid and the effective privacy budget consumed.
 func (b *Broker) Buy(req Request) (*Response, error) {
 	var tr telemetry.Trace
-	b.tele.Load().begin(&tr, "market.buy")
+	b.tele.Load().beginWire(&tr, "market.buy", req.Trace)
+	tr.Annotate("dataset", req.Dataset)
 	resp, _, err := b.buyTraced(req, &tr)
 	return resp, err
 }
@@ -282,7 +297,7 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 		}
 	}
 	tr.Mark("debit")
-	ans, err := ds.engine.Answer(req.Query(), req.Accuracy())
+	ans, err := ds.engine.AnswerCtx(req.Query(), req.Accuracy(), tr.SpanCtx())
 	tr.Mark("answer")
 	if err != nil {
 		b.rollbackSale(wallets, sale, req.Customer, price)
@@ -326,7 +341,7 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 		Coverage:     ans.Coverage,
 	})
 	spendErr := b.journal(WALRecord{Op: opSpend, Sale: sale, Dataset: req.Dataset, Epsilon: ans.Plan.EpsilonPrime})
-	receiptErr := b.journal(WALRecord{Op: opReceipt, Sale: sale, Receipt: &receipt})
+	receiptErr := b.journalCtx(WALRecord{Op: opReceipt, Sale: sale, Receipt: &receipt}, tr.SpanCtx())
 	b.recordMu.Unlock()
 	tr.Mark("record")
 	if spendErr != nil {
@@ -335,9 +350,10 @@ func (b *Broker) buy(req Request, tr *telemetry.Trace) (*Response, float64, erro
 	if receiptErr != nil {
 		return nil, 0, receiptErr
 	}
-	if err := b.journalSync(); err != nil {
+	if err := b.journalSyncCtx(tr.SpanCtx()); err != nil {
 		return nil, 0, err
 	}
+	tr.Mark("fsync")
 	return &Response{
 		OK:                true,
 		Price:             price,
@@ -441,6 +457,8 @@ func (b *Broker) Handle(req Request) *Response {
 		return &Response{Error: err.Error()}
 	}
 	m.noteRequest(req.Op, true)
+	m.noteEngineEnter()
+	defer m.noteEngineExit()
 	switch req.Op {
 	case "catalog":
 		return &Response{OK: true, Datasets: b.Catalog()}

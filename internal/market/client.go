@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"privrange/internal/telemetry"
 )
 
 // Client is a TCP consumer of a market Server. In the default mode each
@@ -35,6 +37,12 @@ type Client struct {
 	sticky     error
 	readerOnce sync.Once
 	readerWG   sync.WaitGroup
+
+	// Trace origination (WithTracing): sampler decides which requests
+	// carry a fresh trace context, spans receives the client's own
+	// send→receive root span. Both nil by default (no tracing).
+	sampler *telemetry.Sampler
+	spans   *telemetry.SpanBuf
 }
 
 // clientResult is what a pipelined waiter receives: the matched
@@ -61,6 +69,22 @@ func WithRequestTimeout(d time.Duration) DialOption {
 // mode is fixed at dial time.
 func WithPipelining() DialOption {
 	return func(c *Client) { c.pipelined = true }
+}
+
+// WithTracing originates distributed traces from this client: every
+// n-th Do (deterministic counter, no randomness) stamps a fresh
+// sampled trace context onto the request's wire form, and the client's
+// own send→receive span is emitted into buf as the trace root — so
+// /traces on the server the buf belongs to shows only server-side
+// time, while a client sharing a registry in-process (tests, privload)
+// sees the full tree including network time. A server that predates
+// the trace field ignores it. Requests that already carry a trace
+// context are passed through untouched.
+func WithTracing(sampleN int, buf *telemetry.SpanBuf) DialOption {
+	return func(c *Client) {
+		c.sampler = telemetry.NewSampler(sampleN)
+		c.spans = buf
+	}
 }
 
 // Dial connects to a market server.
@@ -91,9 +115,32 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 // timeout covers the whole exchange: a server that accepts the request
 // but never answers yields a deadline error instead of a hang.
 func (c *Client) Do(req Request) (*Response, error) {
+	root, start := c.traceStart(&req)
+	var resp *Response
+	var err error
 	if c.pipelined {
-		return c.doPipelined(req)
+		resp, err = c.doPipelined(req)
+	} else {
+		resp, err = c.doSerial(req)
 	}
+	c.spans.EmitRootSince("client.request", root, start)
+	return resp, err
+}
+
+// traceStart stamps a fresh sampled root context onto the request when
+// this client originates traces and the sampler fires. Returns the
+// root context and its start stamp (zero/0 when untraced, which makes
+// the later EmitRootSince a no-op).
+func (c *Client) traceStart(req *Request) (telemetry.SpanContext, int64) {
+	if c.spans == nil || req.Trace != "" || !c.sampler.Sample() {
+		return telemetry.SpanContext{}, 0
+	}
+	root := c.spans.NewRoot()
+	req.Trace = root.String()
+	return root, telemetry.StartStamp(root)
+}
+
+func (c *Client) doSerial(req Request) (*Response, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("market: marshal request: %w", err)

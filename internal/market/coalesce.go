@@ -109,8 +109,10 @@ func (c *Coalescer) buy(req Request) saleResult {
 	}
 	// The trace starts at enqueue: coalescing trades up to one window
 	// of latency for throughput, and the buy histogram must show that
-	// wait, not hide it.
-	c.b.tele.Load().begin(pb.tr, "market.buy")
+	// wait, not hide it. The wire trace context joins here too, so a
+	// sampled buy's handler span covers the coalescing wait.
+	c.b.tele.Load().beginWire(pb.tr, "market.buy", req.Trace)
+	pb.tr.Annotate("dataset", req.Dataset)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

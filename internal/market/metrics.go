@@ -1,6 +1,8 @@
 package market
 
 import (
+	"strconv"
+
 	"privrange/internal/telemetry"
 )
 
@@ -38,6 +40,12 @@ type Metrics struct {
 	inflight        *telemetry.Gauge
 	coalesceBatches *telemetry.Counter
 	coalesceFolded  *telemetry.Counter
+	// Engine pressure: requests dispatched into the broker/engine and
+	// not yet answered (what admission shedding should eventually key
+	// off), and pipeline slots currently held across all connections
+	// (how full the per-connection windows actually run).
+	engineQueue       *telemetry.Gauge
+	pipelineOccupancy *telemetry.Gauge
 
 	walAppends     *telemetry.Counter
 	walBytes       *telemetry.Counter
@@ -49,6 +57,12 @@ type Metrics struct {
 
 	buyLatency *telemetry.Histogram
 	tracer     *telemetry.Tracer
+
+	// Distributed tracing and SLOs. reg is retained so head-sampling
+	// decisions see SetTraceSampling calls made after construction.
+	reg    *telemetry.Registry
+	spans  *telemetry.SpanBuf
+	buySLO *telemetry.SLO
 }
 
 // NewMetrics registers the marketplace's metric catalog on r.
@@ -84,6 +98,9 @@ func NewMetrics(r *telemetry.Registry, labels ...telemetry.Label) *Metrics {
 		coalesceBatches: r.Counter("privrange_market_coalesce_batches_total", "coalesced batch sales executed", labels...),
 		coalesceFolded:  r.Counter("privrange_market_coalesce_folded_total", "single-query buys folded into coalesced batches", labels...),
 
+		engineQueue:       r.Gauge("privrange_market_engine_queue_depth", "requests dispatched into the broker/engine and not yet answered", labels...),
+		pipelineOccupancy: r.Gauge("privrange_market_pipeline_occupancy", "pipeline slots currently held across all connections", labels...),
+
 		walAppends:     r.Counter("privrange_market_wal_appends_total", "mutation records journaled to the write-ahead log", labels...),
 		walBytes:       r.Counter("privrange_market_wal_bytes_total", "bytes appended to the write-ahead log (framed)", labels...),
 		walFsyncs:      r.Counter("privrange_market_wal_fsyncs_total", "group-commit fsyncs (one may cover many records)", labels...),
@@ -94,7 +111,20 @@ func NewMetrics(r *telemetry.Registry, labels ...telemetry.Label) *Metrics {
 
 		buyLatency: r.Histogram("privrange_market_buy_seconds", "end-to-end Buy latency (quote, debit, answer, record)", telemetry.LatencyBuckets, labels...),
 		tracer:     r.Tracer(),
+
+		reg:   r,
+		spans: r.Spans(),
 	}
+}
+
+// SetBuySLO attaches the objective every completed or rejected buy is
+// scored against (wired by the facade during telemetry setup, before
+// serving starts).
+func (m *Metrics) SetBuySLO(s *telemetry.SLO) {
+	if m == nil {
+		return
+	}
+	m.buySLO = s
 }
 
 // noteRequest counts one dispatched protocol request. The op string is
@@ -135,6 +165,61 @@ func (m *Metrics) begin(tr *telemetry.Trace, op string) {
 	tr.Begin(op)
 }
 
+// beginWire starts a purchase trace joined to the request's wire
+// trace context. A request carrying a sampled context is always
+// traced; one without (or with a malformed value) starts a fresh
+// server-originated trace when the registry's head sampler fires.
+// The sampling decision is a modular counter — no randomness, no
+// clock — so it can never perturb the release path.
+func (m *Metrics) beginWire(tr *telemetry.Trace, op, wireCtx string) {
+	if m == nil {
+		return
+	}
+	if sc, ok := telemetry.ParseSpanContext(wireCtx); ok && sc.Sampled {
+		tr.BeginCtx(op, sc, m.spans)
+		return
+	}
+	if m.reg.Sampler().Sample() {
+		tr.BeginCtx(op, m.spans.NewTrace(), m.spans)
+		return
+	}
+	tr.Begin(op)
+}
+
+// beginBatchSpan starts the trace covering one coalesced batch sale.
+// When any folded sale is sampled, the batch runs as a span on its own
+// trace (it belongs to no single sale) and links every sampled sale's
+// handler span; otherwise it stays a plain latency trace.
+func (m *Metrics) beginBatchSpan(tr *telemetry.Trace, traces []*telemetry.Trace, slots []int) {
+	if m == nil {
+		return
+	}
+	linked := false
+	for _, i := range slots {
+		if sc := traces[i].SpanCtx(); sc.Sampled {
+			if !linked {
+				tr.BeginCtx("market.batch_sale", m.spans.NewTrace(), m.spans)
+				linked = true
+			}
+			tr.Link(sc)
+		}
+	}
+	if !linked {
+		tr.Begin("market.batch_sale")
+	}
+}
+
+// finishBatchSpan closes one batch-sale trace. folded is how many buys
+// the batch settled (an aggregate count — clean for span attributes).
+func (m *Metrics) finishBatchSpan(tr *telemetry.Trace, folded int) {
+	if m == nil {
+		return
+	}
+	tr.Annotate("folded", strconv.Itoa(folded))
+	tr.End("ok")
+	m.tracer.Record(tr)
+}
+
 // finishBuy closes one Buy trace and records the sale outcome. price
 // is the tariff output for a completed sale (ignored on rejection).
 func (m *Metrics) finishBuy(tr *telemetry.Trace, sold bool, price float64) {
@@ -150,6 +235,7 @@ func (m *Metrics) finishBuy(tr *telemetry.Trace, sold bool, price float64) {
 		m.rejections.Inc()
 	}
 	m.buyLatency.Observe(tr.Total.Seconds())
+	m.buySLO.Observe(tr.Total, sold)
 	m.tracer.Record(tr)
 }
 
@@ -252,6 +338,39 @@ func (m *Metrics) noteFinish() {
 		return
 	}
 	m.inflight.Add(-1)
+}
+
+// noteEngineEnter / noteEngineExit track how many requests are
+// currently dispatched into the broker/engine — the queue depth a
+// later admission policy can key off (ROADMAP item 4 follow-up).
+func (m *Metrics) noteEngineEnter() {
+	if m == nil {
+		return
+	}
+	m.engineQueue.Add(1)
+}
+
+func (m *Metrics) noteEngineExit() {
+	if m == nil {
+		return
+	}
+	m.engineQueue.Add(-1)
+}
+
+// noteSlotAcquire / noteSlotRelease track pipeline-window occupancy
+// across all connections.
+func (m *Metrics) noteSlotAcquire() {
+	if m == nil {
+		return
+	}
+	m.pipelineOccupancy.Add(1)
+}
+
+func (m *Metrics) noteSlotRelease() {
+	if m == nil {
+		return
+	}
+	m.pipelineOccupancy.Add(-1)
 }
 
 // noteCoalesce records one executed batch sale folding n buys.

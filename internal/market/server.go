@@ -330,8 +330,10 @@ func (s *Server) readLoop(c *servedConn) {
 		// throttles an over-eager client via TCP flow control), then
 		// pass the module-wide admission gate.
 		c.slots <- struct{}{}
+		s.metrics.noteSlotAcquire()
 		if !s.admit() {
 			<-c.slots
+			s.metrics.noteSlotRelease()
 			s.metrics.noteShed()
 			c.respQ <- shedResponse(req.ID)
 			continue
@@ -344,6 +346,7 @@ func (s *Server) readLoop(c *servedConn) {
 			c.respQ <- resp
 			s.release()
 			<-c.slots
+			s.metrics.noteSlotRelease()
 		}(req)
 	}
 	if errors.Is(scanner.Err(), bufio.ErrTooLong) {

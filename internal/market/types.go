@@ -22,6 +22,15 @@ type Request struct {
 	// requests strictly in arrival order, so old peers interoperate
 	// unchanged in both directions.
 	ID uint64 `json:"id,omitempty"`
+	// Trace carries an optional distributed-trace context in
+	// telemetry.SpanContext wire form ("16-hex-trace-16-hex-span-flags").
+	// A server that understands it parents its handler span on the
+	// client's span and (when the sampled flag is set) records the
+	// request into its span buffer; a server that predates it ignores
+	// the unknown field, and an absent or malformed value simply means
+	// "untraced" — legacy peers interoperate unchanged in both
+	// directions, exactly like ID. Tracing never changes an answer.
+	Trace string `json:"trace,omitempty"`
 	// Op selects the operation: "quote", "buy", "catalog", "deposit",
 	// "balance" or "audit".
 	Op string `json:"op"`

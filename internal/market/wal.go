@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"privrange/internal/telemetry"
 )
 
 // The write-ahead log makes the trading books crash-consistent: every
@@ -164,6 +166,35 @@ func frame(payload []byte) []byte {
 	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
 	copy(out[walHeaderSize:], payload)
 	return out
+}
+
+// AppendCtx is Append under a distributed-trace context: a sampled
+// caller's append shows up as a "wal.append" span. StartStamp returns 0
+// for unsampled contexts, so the untraced path never reads the clock.
+func (w *WAL) AppendCtx(r WALRecord, sc telemetry.SpanContext) (uint64, error) {
+	start := telemetry.StartStamp(sc)
+	seq, err := w.Append(r)
+	if start != 0 {
+		if m := w.metrics(); m != nil {
+			m.spans.EmitSince("wal.append", sc, start)
+		}
+	}
+	return seq, err
+}
+
+// SyncCtx is Sync under a distributed-trace context: the group-commit
+// flush a sampled caller waited on shows up as a "wal.fsync" span (the
+// flush may cover neighbours' records — that wait is real latency and
+// is attributed to the sale that paid it).
+func (w *WAL) SyncCtx(sc telemetry.SpanContext) error {
+	start := telemetry.StartStamp(sc)
+	err := w.Sync()
+	if start != 0 {
+		if m := w.metrics(); m != nil {
+			m.spans.EmitSince("wal.fsync", sc, start)
+		}
+	}
+	return err
 }
 
 // Append assigns the record a sequence number and buffers its frame.

@@ -17,6 +17,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.runScrapeHooks()
 	r.mu.Lock()
 	counters := make([]*Counter, 0, len(r.counters))
 	for _, c := range r.counters {
@@ -180,12 +181,83 @@ type SpanSnapshot struct {
 	DurationNS int64  `json:"duration_ns"`
 }
 
+// SpanWire is one distributed span in /traces wire form. Ids are hex
+// strings (64-bit ids survive JSON number precision limits that way).
+type SpanWire struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id,omitempty"`
+	Name    string            `json:"name"`
+	Start   int64             `json:"start_unix_ns"`
+	DurNS   int64             `json:"duration_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Links   []string          `json:"links,omitempty"`
+}
+
+// TraceWire is the /traces payload: every retained span plus loss
+// accounting, grouped nowhere — consumers (cmd/privquery trace) group
+// by trace id.
+type TraceWire struct {
+	Time     time.Time  `json:"time"`
+	Emitted  uint64     `json:"spans_emitted"`
+	Retained int        `json:"spans_retained"`
+	Spans    []SpanWire `json:"spans"`
+}
+
+func hex16(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return string(appendHex16(nil, v))
+}
+
+// TraceSpans copies the distributed span ring into wire form.
+func (r *Registry) TraceSpans() TraceWire {
+	tw := TraceWire{Time: time.Now()}
+	if r == nil {
+		return tw
+	}
+	recs := r.spans.SnapshotSpans()
+	tw.Emitted = r.spans.Emitted()
+	tw.Retained = len(recs)
+	tw.Spans = make([]SpanWire, 0, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		sw := SpanWire{
+			TraceID: hex16(rec.TraceID),
+			SpanID:  hex16(rec.SpanID),
+			Parent:  hex16(rec.ParentID),
+			Name:    rec.Name,
+			Start:   rec.Start,
+			DurNS:   rec.Dur,
+		}
+		if rec.NAttrs > 0 {
+			sw.Attrs = make(map[string]string, rec.NAttrs)
+			for j := 0; j < rec.NAttrs; j++ {
+				sw.Attrs[rec.Attrs[j].Key] = rec.Attrs[j].Value
+			}
+		}
+		for _, l := range rec.Links {
+			sw.Links = append(sw.Links, l.String())
+		}
+		tw.Spans = append(tw.Spans, sw)
+	}
+	sort.Slice(tw.Spans, func(i, j int) bool {
+		if tw.Spans[i].TraceID != tw.Spans[j].TraceID {
+			return tw.Spans[i].TraceID < tw.Spans[j].TraceID
+		}
+		return tw.Spans[i].Start < tw.Spans[j].Start
+	})
+	return tw
+}
+
 // Snapshot captures the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{Time: time.Now()}
 	if r == nil {
 		return snap
 	}
+	r.runScrapeHooks()
 	r.mu.Lock()
 	for _, c := range r.counters {
 		snap.Counters = append(snap.Counters, CounterSnapshot{Name: c.name, Labels: c.lbls, Value: c.Value()})

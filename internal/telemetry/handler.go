@@ -14,6 +14,7 @@ import (
 //
 //	GET /metrics        Prometheus text exposition
 //	GET /snapshot       JSON snapshot (metrics + traces + events)
+//	GET /traces         JSON distributed spans (the span ring)
 //	GET /debug/pprof/*  net/http/pprof profiles
 //	GET /               plain-text index of the routes above
 //
@@ -33,6 +34,12 @@ func Handler(r *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.TraceSpans())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -47,6 +54,7 @@ func Handler(r *Registry) http.Handler {
 		fmt.Fprintln(w, "privrange ops endpoint")
 		fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
 		fmt.Fprintln(w, "  /snapshot      JSON metrics + traces + events")
+		fmt.Fprintln(w, "  /traces        JSON distributed spans")
 		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
 	})
 	return mux

@@ -169,8 +169,13 @@ func (h *Histogram) Sum() float64 {
 }
 
 // LatencyBuckets is the default bucket ladder for query-latency
-// histograms, in seconds: 10µs up to 10s, roughly ×2.5 per step.
+// histograms, in seconds: 1µs up to 10s, roughly ×2.5 per step. The
+// sub-10µs rungs exist because server-side phase self-times (cache
+// lookups, WAL appends, per-shard scatters) are routinely
+// sub-millisecond: with a 10µs floor they all collapsed into the first
+// bucket and per-stage attribution could not rank them.
 var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
 	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
@@ -187,17 +192,85 @@ type Registry struct {
 	histograms map[string]*Histogram
 	tracer     *Tracer
 	events     *EventLog
+	spans      *SpanBuf
+	sampler    *Sampler
+	hooks      []func()
 }
 
 // NewRegistry returns an empty registry with a tracer ring of
-// DefaultTraceCapacity and an event log of DefaultEventCapacity.
+// DefaultTraceCapacity, an event log of DefaultEventCapacity, and a
+// span ring of DefaultSpanCapacity (sampling disabled until
+// SetTraceSampling).
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		tracer:     NewTracer(DefaultTraceCapacity),
 		events:     NewEventLog(DefaultEventCapacity),
+		spans:      NewSpanBuf(DefaultSpanCapacity),
+	}
+	r.spans.attr = newAttribution(r)
+	return r
+}
+
+// Spans returns the registry's distributed span ring. Nil-safe.
+func (r *Registry) Spans() *SpanBuf {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// SetTraceSampling configures server-originated head sampling: a
+// request arriving without a trace context starts a new sampled trace
+// 1 in n times (n <= 0 disables; n == 1 traces everything). Requests
+// that already carry a sampled context are always traced, so a fleet
+// can sample at the edge only.
+func (r *Registry) SetTraceSampling(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sampler = NewSampler(n)
+	r.mu.Unlock()
+}
+
+// Sampler returns the server-origin sampler (nil until
+// SetTraceSampling, and a nil sampler never samples).
+func (r *Registry) Sampler() *Sampler {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sampler
+}
+
+// onScrape registers fn to run at the start of every exposition
+// (WritePrometheus, Snapshot) — used for lazily-computed gauges such
+// as SLO burn rates.
+func (r *Registry) onScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// runScrapeHooks invokes the registered scrape hooks outside the
+// registry lock (hooks set gauges, which are atomic).
+func (r *Registry) runScrapeHooks() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 }
 

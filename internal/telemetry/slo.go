@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO support: declared latency/availability objectives with
+// multi-window burn-rate gauges, per the classic error-budget model.
+// An objective says "at least Target of requests must be good over
+// time"; a request is good when it succeeded and (for latency
+// objectives) finished under Threshold. The burn rate over a window is
+//
+//	burn = badFraction / (1 - Target)
+//
+// so burn 1.0 means "consuming error budget exactly as fast as the
+// objective allows", and a page-worthy fast burn shows up as, say,
+// burn ≥ 14 on the short window. Each window is a ring of 60 coarse
+// buckets rotated by wall time; gauges are refreshed lazily on scrape
+// (the Registry's scrape hooks), so steady-state request cost is one
+// short mutex hold.
+
+// Objective declares one SLO.
+type Objective struct {
+	// Name labels the slo gauge series, e.g. "buy_latency".
+	Name string
+	// Target is the required good fraction, e.g. 0.99.
+	Target float64
+	// Threshold is the latency bound defining "good" (0 = availability
+	// objective: any ok request is good).
+	Threshold time.Duration
+	// Windows are the burn-rate evaluation windows (default 5m and 1h).
+	Windows []time.Duration
+}
+
+// DefaultSLOWindows are the burn windows used when an Objective leaves
+// Windows nil: a fast window for paging and a slow one for trend.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// sloWindowBuckets is the ring resolution per window.
+const sloWindowBuckets = 60
+
+// BurnRateMetric is the gauge family SLO burn rates are exported as,
+// labeled {slo, window}.
+const BurnRateMetric = "privrange_slo_burn_rate"
+
+type sloBucket struct {
+	epoch int64 // bucket index in gran units; stale buckets are zeroed lazily
+	good  uint64
+	total uint64
+}
+
+type sloWindow struct {
+	width   time.Duration
+	gran    int64 // bucket width, ns
+	buckets [sloWindowBuckets]sloBucket
+	burn    *Gauge
+}
+
+// SLO tracks one objective. Obtain from Registry.SLO; methods are
+// safe for concurrent use and nil-safe.
+type SLO struct {
+	name        string
+	target      float64
+	thresholdNS int64
+	mu          sync.Mutex
+	windows     []*sloWindow
+	good        *Counter
+	total       *Counter
+}
+
+// SLO registers (or retrieves) the named objective, its lifetime
+// good/total counters, and one burn-rate gauge per window, and hooks
+// gauge refresh into scrapes. Nil-safe (returns a nil, inert SLO).
+func (r *Registry) SLO(o Objective) *SLO {
+	if r == nil {
+		return nil
+	}
+	windows := o.Windows
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	s := &SLO{
+		name:        o.Name,
+		target:      o.Target,
+		thresholdNS: o.Threshold.Nanoseconds(),
+		good: r.Counter("privrange_slo_good_total", "requests meeting the objective",
+			L("slo", o.Name)),
+		total: r.Counter("privrange_slo_requests_total", "requests evaluated against the objective",
+			L("slo", o.Name)),
+	}
+	for _, w := range windows {
+		if w <= 0 {
+			continue
+		}
+		gran := w.Nanoseconds() / sloWindowBuckets
+		if gran < 1 {
+			gran = 1
+		}
+		s.windows = append(s.windows, &sloWindow{
+			width: w,
+			gran:  gran,
+			burn: r.Gauge(BurnRateMetric, "error-budget burn rate (1.0 = exactly on budget)",
+				L("slo", o.Name), L("window", w.String())),
+		})
+	}
+	r.onScrape(func() { s.Refresh() })
+	return s
+}
+
+// Observe records one request outcome against the objective.
+func (s *SLO) Observe(d time.Duration, ok bool) {
+	if s == nil {
+		return
+	}
+	goodReq := ok && (s.thresholdNS == 0 || d.Nanoseconds() <= s.thresholdNS)
+	s.total.Inc()
+	if goodReq {
+		s.good.Inc()
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	for _, w := range s.windows {
+		b := w.bucketAt(now)
+		b.total++
+		if goodReq {
+			b.good++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// bucketAt returns the live bucket for time now, zeroing it first if
+// it still holds counts from a previous rotation. Callers hold s.mu.
+func (w *sloWindow) bucketAt(now int64) *sloBucket {
+	e := now / w.gran
+	b := &w.buckets[int(e%sloWindowBuckets)]
+	if b.epoch != e {
+		b.epoch, b.good, b.total = e, 0, 0
+	}
+	return b
+}
+
+// Refresh recomputes every window's burn-rate gauge from the buckets
+// still inside the window. Called from registry scrape hooks; safe to
+// call directly (tests).
+func (s *SLO) Refresh() {
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	for _, w := range s.windows {
+		minEpoch := now/w.gran - sloWindowBuckets + 1
+		var good, total uint64
+		for i := range w.buckets {
+			b := &w.buckets[i]
+			if b.epoch >= minEpoch {
+				good += b.good
+				total += b.total
+			}
+		}
+		w.burn.Set(burnRate(good, total, s.target))
+	}
+	s.mu.Unlock()
+}
+
+// burnRate maps a window's good/total counts to an error-budget burn
+// rate. No traffic means no burn; a target of 1.0 has no budget, so
+// any bad request is infinite burn — we saturate at a large finite
+// value to keep the exposition JSON-friendly.
+func burnRate(good, total uint64, target float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	bad := float64(total-good) / float64(total)
+	budget := 1 - target
+	if budget <= 0 {
+		if bad == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	rate := bad / budget
+	if rate > 1e9 {
+		rate = 1e9
+	}
+	return rate
+}

@@ -42,8 +42,21 @@ type Trace struct {
 	Spans    [MaxSpans]Span
 	NumSpans int
 
+	// Ctx is the distributed parent context (zero when the operation is
+	// untraced); Attrs[:NAttrs] are constant-key span annotations copied
+	// onto the emitted operation span. Links are causally related spans
+	// that are not parents (a batch sale links every folded sale).
+	Ctx    SpanContext
+	Attrs  [MaxSpanAttrs]Label
+	NAttrs int
+	Links  []SpanContext
+
 	on   bool
 	last time.Time
+	// self is the operation's own span id (0 when unsampled); buf is
+	// where Record emits the distributed spans.
+	self uint64
+	buf  *SpanBuf
 }
 
 // Begin starts the trace clock.
@@ -88,6 +101,56 @@ func (t *Trace) End(outcome string) {
 // Active reports whether Begin has been called.
 func (t *Trace) Active() bool { return t != nil && t.on }
 
+// BeginCtx is Begin for a distributed trace: when parent is sampled
+// and buf is non-nil, the trace joins parent's trace, allocates its
+// own span id, and Record will emit the operation and its phases as
+// spans into buf. Otherwise it degrades to a plain Begin.
+func (t *Trace) BeginCtx(op string, parent SpanContext, buf *SpanBuf) {
+	if t == nil {
+		return
+	}
+	t.Begin(op)
+	if parent.Sampled && parent.TraceID != 0 && buf != nil {
+		t.Ctx = parent
+		t.buf = buf
+		t.self = buf.NextSpanID()
+	}
+}
+
+// SpanCtx returns the context identifying this trace's own span — the
+// parent context for downstream stages. Zero (unsampled) when the
+// trace is not part of a sampled distributed trace.
+func (t *Trace) SpanCtx() SpanContext {
+	if t == nil || t.self == 0 {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: t.Ctx.TraceID, SpanID: t.self, Sampled: true}
+}
+
+// Sampled reports whether Record will emit distributed spans.
+func (t *Trace) Sampled() bool { return t != nil && t.self != 0 }
+
+// Link records a causal (non-parent) relation to another span; the
+// emitted operation span carries it. Unsampled links are dropped.
+func (t *Trace) Link(sc SpanContext) {
+	if t == nil || !sc.Sampled || !sc.Valid() {
+		return
+	}
+	t.Links = append(t.Links, sc)
+}
+
+// Annotate attaches one constant-key attribute to the operation span.
+// Values must stay on the clean side of the privacy boundary — the
+// telemetrytaint analyzer checks both arguments. Nil-safe; extras
+// beyond MaxSpanAttrs are dropped.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil || t.NAttrs >= MaxSpanAttrs {
+		return
+	}
+	t.Attrs[t.NAttrs] = Label{Key: key, Value: value}
+	t.NAttrs++
+}
+
 // Tracer keeps the most recent traces in a fixed ring. Record copies
 // the caller's stack-held Trace under a short mutex — no allocation,
 // no retained pointers.
@@ -107,8 +170,13 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record copies tr into the ring and assigns its ID. Nil-safe on both
-// sides; traces that never Began are dropped.
+// sides; traces that never Began are dropped. A trace begun with a
+// sampled context (BeginCtx) additionally emits its operation and
+// phase spans into the distributed span buffer, outside the ring lock.
 func (t *Tracer) Record(tr *Trace) {
+	if tr != nil {
+		tr.buf.EmitTrace(tr)
+	}
 	if t == nil || tr == nil || !tr.on {
 		return
 	}

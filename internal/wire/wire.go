@@ -27,6 +27,7 @@ const (
 	TagHeartbeat    byte = 0x02
 	TagResample     byte = 0x03
 	TagAck          byte = 0x04
+	TagTraceContext byte = 0x05
 )
 
 // maxSamplesPerMessage bounds decode-side allocation against corrupt or
@@ -91,6 +92,23 @@ type Ack struct {
 // Tag implements Message.
 func (*Ack) Tag() byte { return TagAck }
 
+// TraceContext carries a distributed-trace context alongside a command
+// on the node protocol, so a sampled collection round triggered by a
+// traced sale can be followed down to the nodes. The body is fixed
+// width (8+8+1 bytes, little-endian ids + a flags octet, bit 0 =
+// sampled) — constant cost, and a peer that predates the tag rejects
+// it cleanly at Decode (unknown tag) instead of desyncing the stream,
+// so senders must only emit it to peers that advertise understanding.
+// Carrying only ids and a flag, it can never leak sample values.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// Tag implements Message.
+func (*TraceContext) Tag() byte { return TagTraceContext }
+
 // encodeBufs and decodeReaders recycle the codec's scratch objects
 // across messages: the ingest path encodes and decodes one message per
 // node per round, and a fresh bytes.Buffer per Encode re-pays its
@@ -143,6 +161,8 @@ func Decode(data []byte) (Message, int, error) {
 		m = &Resample{}
 	case TagAck:
 		m = &Ack{}
+	case TagTraceContext:
+		m = &TraceContext{}
 	default:
 		return nil, 0, fmt.Errorf("wire: unknown message tag 0x%02x", tag)
 	}
@@ -327,10 +347,34 @@ func (m *Ack) decodeBody(r *bytes.Reader) error {
 	return nil
 }
 
+func (m *TraceContext) encodeBody(w *bytes.Buffer) {
+	var tmp [17]byte
+	binary.LittleEndian.PutUint64(tmp[0:8], m.TraceID)
+	binary.LittleEndian.PutUint64(tmp[8:16], m.SpanID)
+	if m.Sampled {
+		tmp[16] = 1
+	}
+	w.Write(tmp[:])
+}
+
+func (m *TraceContext) decodeBody(r *bytes.Reader) error {
+	var tmp [17]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return err
+	}
+	// Unknown flag bits are tolerated (forward compatibility); only bit
+	// 0 is defined today.
+	m.TraceID = binary.LittleEndian.Uint64(tmp[0:8])
+	m.SpanID = binary.LittleEndian.Uint64(tmp[8:16])
+	m.Sampled = tmp[16]&1 == 1
+	return nil
+}
+
 // Interface compliance.
 var (
 	_ Message = (*SampleReport)(nil)
 	_ Message = (*Heartbeat)(nil)
 	_ Message = (*Resample)(nil)
 	_ Message = (*Ack)(nil)
+	_ Message = (*TraceContext)(nil)
 )

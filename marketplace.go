@@ -141,6 +141,47 @@ func (m *Marketplace) instrumentLocked(name string, h datasetHandles) {
 	)
 }
 
+// EnableTracing turns on head-sampled distributed tracing: every n-th
+// request without a wire trace context starts a fresh trace (the
+// sampling decision is a deterministic counter — no randomness, no
+// clock — so tracing can never perturb released answers), and sampled
+// requests emit spans for every stage — handler, coalesced batch,
+// engine phases, per-shard scatter, WAL append/fsync — retrievable as
+// JSON from the ops endpoint's /traces route. Requests arriving with a
+// sampled wire context (market.WithTracing clients) are always traced
+// regardless of n. n <= 0 disables head sampling; wire-joined traces
+// still record. Enables telemetry if needed. Idempotent.
+func (m *Marketplace) EnableTracing(sampleN int) {
+	m.enableTelemetry().SetTraceSampling(sampleN)
+}
+
+// SLO declares one service-level objective over buys.
+type SLO struct {
+	// Name labels the objective's series, e.g. "buy_latency".
+	// Defaults to "buy".
+	Name string
+	// Target is the required good-request fraction, e.g. 0.99.
+	Target float64
+	// Threshold bounds a good buy's end-to-end latency; zero declares a
+	// pure availability objective (any completed sale is good).
+	Threshold time.Duration
+}
+
+// DeclareBuySLO scores every buy (sold or rejected) against the
+// objective and exports multi-window error-budget burn-rate gauges
+// (privrange_slo_burn_rate{slo,window}, windows 5m and 1h) plus
+// lifetime good/total counters on the ops endpoint. Enables telemetry
+// if needed. Declaring again replaces the scored objective.
+func (m *Marketplace) DeclareBuySLO(s SLO) {
+	reg := m.enableTelemetry()
+	name := s.Name
+	if name == "" {
+		name = "buy"
+	}
+	obj := reg.SLO(telemetry.Objective{Name: name, Target: s.Target, Threshold: s.Threshold})
+	m.broker.Telemetry().SetBuySLO(obj)
+}
+
 // OpsServer is a running operational HTTP endpoint: Prometheus metrics
 // at /metrics, a JSON state snapshot at /snapshot and pprof under
 // /debug/pprof/. It is separate from the trading TCP endpoint — bind

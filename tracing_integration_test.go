@@ -1,0 +1,330 @@
+package privrange_test
+
+// End-to-end distributed-tracing scenario, run under -race in CI: a
+// traced client stamps trace contexts onto wire requests, the broker
+// joins them, and /traces shows the whole causal chain — client span
+// id as the buy span's parent, engine phases under the buy, WAL
+// append/fsync under the same trace. A second phase drives pipelined
+// clients against a coalescing broker and checks span accounting (no
+// lost or cross-wired spans), and a third proves released answers are
+// bit-identical with tracing on and off.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+
+	"privrange"
+	"privrange/internal/dataset"
+	"privrange/internal/market"
+	"privrange/internal/telemetry"
+)
+
+// tracedWire mirrors the /traces JSON payload.
+type tracedWire struct {
+	Emitted  uint64 `json:"spans_emitted"`
+	Retained int    `json:"spans_retained"`
+	Spans    []struct {
+		TraceID string            `json:"trace_id"`
+		SpanID  string            `json:"span_id"`
+		Parent  string            `json:"parent_id"`
+		Name    string            `json:"name"`
+		DurNS   int64             `json:"duration_ns"`
+		Attrs   map[string]string `json:"attrs"`
+		Links   []string          `json:"links"`
+	} `json:"spans"`
+}
+
+func hexID(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+func fetchTraces(t *testing.T, opsAddr string) tracedWire {
+	t.Helper()
+	resp, err := http.Get("http://" + opsAddr + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tw tracedWire
+	if err := json.Unmarshal(body, &tw); err != nil {
+		t.Fatalf("decode /traces: %v\n%s", err, body)
+	}
+	return tw
+}
+
+func tracedMarketplace(t *testing.T, durable bool) (*privrange.Marketplace, *privrange.MarketServer, *privrange.OpsServer) {
+	t.Helper()
+	series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 21, Records: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := privrange.NewMarketplace(privrange.Tariff{Base: 1, C: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.EnableTracing(64)
+	if durable {
+		if err := mp.EnableDurability(t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mp.AddDataset("ozone", series.Values, privrange.Options{Nodes: 8, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := mp.ServeOps("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ops.Close(); srv.Close() })
+	return mp, srv, ops
+}
+
+// TestTracingSingleBuyEndToEnd follows one sampled buy through every
+// layer: the client's root span id must be the buy span's parent on
+// the server, the engine phases must hang under the buy, and the WAL
+// append and group-commit fsync must appear in the same trace.
+func TestTracingSingleBuyEndToEnd(t *testing.T) {
+	t.Parallel()
+	_, srv, ops := tracedMarketplace(t, true)
+
+	clientBuf := telemetry.NewSpanBuf(64)
+	client, err := market.Dial(srv.Addr(), market.WithTracing(1, clientBuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Buy(market.Request{Dataset: "ozone", Customer: "ada", L: 30, U: 90, Alpha: 0.1, Delta: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := clientBuf.SnapshotSpans()
+	if len(roots) != 1 || roots[0].Name != "client.request" {
+		t.Fatalf("client buf: %+v, want one client.request span", roots)
+	}
+	traceID, rootID := hexID(roots[0].TraceID), hexID(roots[0].SpanID)
+
+	tw := fetchTraces(t, ops.Addr())
+	spans := make(map[string]struct{ id, parent string })
+	for _, s := range tw.Spans {
+		if s.TraceID != traceID {
+			continue
+		}
+		spans[s.Name] = struct{ id, parent string }{s.SpanID, s.Parent}
+	}
+	buy, ok := spans["market.buy"]
+	if !ok {
+		t.Fatalf("trace %s has no market.buy span on the server: %+v", traceID, spans)
+	}
+	if buy.parent != rootID {
+		t.Fatalf("market.buy parent = %s, want the client root span %s", buy.parent, rootID)
+	}
+	answer, ok := spans["core.answer"]
+	if !ok {
+		t.Fatalf("trace %s has no core.answer span: %+v", traceID, spans)
+	}
+	if answer.parent != buy.id {
+		t.Fatalf("core.answer parent = %s, want market.buy span %s", answer.parent, buy.id)
+	}
+	for _, phase := range []string{"core.answer.sample_lookup", "core.answer.estimate", "core.answer.perturb"} {
+		sp, ok := spans[phase]
+		if !ok {
+			t.Fatalf("trace %s missing engine phase %s: %+v", traceID, phase, spans)
+		}
+		if sp.parent != answer.id {
+			t.Fatalf("%s parent = %s, want core.answer span %s", phase, sp.parent, answer.id)
+		}
+	}
+	for _, wal := range []string{"wal.append", "wal.fsync"} {
+		sp, ok := spans[wal]
+		if !ok {
+			t.Fatalf("trace %s missing durability span %s: %+v", traceID, wal, spans)
+		}
+		if sp.parent != buy.id {
+			t.Fatalf("%s parent = %s, want market.buy span %s", wal, sp.parent, buy.id)
+		}
+	}
+}
+
+// TestTracingPipelinedCoalescedAccounting drives pipelined traced
+// clients against a coalescing broker and audits the span stream: one
+// market.buy span per buy, each parented on a distinct client root,
+// never cross-wired between concurrent requests; when sales folded
+// into batches, the batch spans must link the folded sales' spans.
+func TestTracingPipelinedCoalescedAccounting(t *testing.T) {
+	t.Parallel()
+	mp, srv, ops := tracedMarketplace(t, false)
+	mp.EnableCoalescing(privrange.CoalesceConfig{})
+	defer mp.DisableCoalescing()
+
+	const clients, buysPer = 3, 8
+	clientBuf := telemetry.NewSpanBuf(256)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cl, err := market.Dial(srv.Addr(), market.WithPipelining(), market.WithTracing(1, clientBuf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		for i := 0; i < buysPer; i++ {
+			wg.Add(1)
+			go func(cl *market.Client, i int) {
+				defer wg.Done()
+				req := market.Request{Dataset: "ozone", Customer: "bob", L: 20, U: 60 + float64(i), Alpha: 0.1, Delta: 0.6}
+				if _, err := cl.Buy(req); err != nil {
+					t.Error(err)
+				}
+			}(cl, i)
+		}
+	}
+	wg.Wait()
+
+	const total = clients * buysPer
+	rootByTrace := make(map[string]string) // trace id -> client root span id
+	for _, r := range clientBuf.SnapshotSpans() {
+		rootByTrace[hexID(r.TraceID)] = hexID(r.SpanID)
+	}
+	if len(rootByTrace) != total {
+		t.Fatalf("client emitted %d roots, want %d", len(rootByTrace), total)
+	}
+
+	tw := fetchTraces(t, ops.Addr())
+	buySpans := make(map[string]string) // span id -> trace id
+	var batchLinks []string
+	for _, s := range tw.Spans {
+		switch s.Name {
+		case "market.buy":
+			root, ours := rootByTrace[s.TraceID]
+			if !ours {
+				continue
+			}
+			if s.Parent != root {
+				t.Fatalf("buy span in trace %s parented on %s, want client root %s (cross-wired)", s.TraceID, s.Parent, root)
+			}
+			buySpans[s.SpanID] = s.TraceID
+		case "market.batch_sale":
+			batchLinks = append(batchLinks, s.Links...)
+		}
+	}
+	if len(buySpans) != total {
+		t.Fatalf("server shows %d market.buy spans for our traces, want %d (lost spans; emitted=%d retained=%d)",
+			len(buySpans), total, tw.Emitted, tw.Retained)
+	}
+	// Folding is timing-dependent, but whenever the broker reports
+	// batches, the batch spans must link back to real sale spans.
+	if folded := serverCounter(t, ops.Addr(), "privrange_market_coalesce_folded_total"); folded > 0 {
+		if len(batchLinks) == 0 {
+			t.Fatalf("%d sales folded into batches but no batch span carries links", folded)
+		}
+		for _, link := range batchLinks {
+			id := link[17:33] // links are serialized contexts: trace-span-flags
+			if _, ok := buySpans[id]; !ok {
+				t.Fatalf("batch link %s does not point at a known sale span", link)
+			}
+		}
+	}
+}
+
+// TestTracingAnswersBitIdentical buys the same sequence from two
+// identically seeded marketplaces — one fully traced, one with
+// tracing off — and requires bit-identical released answers: tracing
+// must never touch the noise stream or estimation order.
+func TestTracingAnswersBitIdentical(t *testing.T) {
+	t.Parallel()
+	build := func(traceN int) (*privrange.MarketServer, func()) {
+		series, err := dataset.GenerateSeries(dataset.Ozone, dataset.GenerateConfig{Seed: 33, Records: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := privrange.NewMarketplace(privrange.Tariff{Base: 1, C: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp.EnableTelemetry()
+		if traceN > 0 {
+			mp.EnableTracing(traceN)
+		}
+		if err := mp.AddDataset("ozone", series.Values, privrange.Options{Nodes: 8, Seed: 9}); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := mp.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, func() { srv.Close() }
+	}
+	buyAll := func(srv *privrange.MarketServer, traced bool) []uint64 {
+		var opts []market.DialOption
+		if traced {
+			opts = append(opts, market.WithTracing(1, telemetry.NewSpanBuf(64)))
+		}
+		client, err := market.Dial(srv.Addr(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		var out []uint64
+		for i := 0; i < 6; i++ {
+			resp, err := client.Buy(market.Request{
+				Dataset: "ozone", Customer: "cyd",
+				L: 10 + float64(i), U: 70 + 3*float64(i), Alpha: 0.1, Delta: 0.6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, math.Float64bits(resp.Value))
+		}
+		return out
+	}
+
+	srvTraced, closeTraced := build(1)
+	defer closeTraced()
+	srvPlain, closePlain := build(0)
+	defer closePlain()
+
+	traced := buyAll(srvTraced, true)
+	plain := buyAll(srvPlain, false)
+	for i := range traced {
+		if traced[i] != plain[i] {
+			t.Fatalf("buy %d: traced answer bits %x != untraced %x — tracing perturbed the release path", i, traced[i], plain[i])
+		}
+	}
+}
+
+// serverCounter scrapes one counter total from the ops snapshot.
+func serverCounter(t *testing.T, opsAddr, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get("http://" + opsAddr + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			sum += c.Value
+		}
+	}
+	return sum
+}
